@@ -1,0 +1,71 @@
+"""Benchmarks + shape checks for the A1-A5 ablations."""
+
+from benchmarks.conftest import BENCH_OPTIONS
+from repro.bench.experiments import ablations
+
+
+def test_a1_cleaning_policy(benchmark):
+    result = benchmark.pedantic(
+        ablations.cleaning_policy, kwargs=dict(scale=0.4), **BENCH_OPTIONS
+    )
+    print("\n" + result.render())
+    moved = {row[0]: row[1] for row in result.rows}
+    assert moved["greedy"] > 0 and moved["cost_benefit"] > 0
+
+
+def test_a2_stripe_size(benchmark):
+    result = benchmark.pedantic(
+        ablations.stripe_size, kwargs=dict(scale=0.4), **BENCH_OPTIONS
+    )
+    print("\n" + result.render())
+    wa = result.column("WriteAmp")
+    # doubling the logical page doubles random-4K write amplification
+    assert wa == sorted(wa)
+    assert wa[-1] > 4 * wa[0] * 0.9
+
+
+def test_a3_tier_placement(benchmark):
+    result = benchmark.pedantic(
+        ablations.tier_placement, kwargs=dict(scale=0.4), **BENCH_OPTIONS
+    )
+    print("\n" + result.render())
+    latency = {row[0]: row[1] for row in result.rows}
+    assert latency["tiered"] < latency["linear"]
+
+
+def test_a4_osd_trim(benchmark):
+    result = benchmark.pedantic(
+        ablations.osd_trim, kwargs=dict(scale=0.4), **BENCH_OPTIONS
+    )
+    print("\n" + result.render())
+    rows = {row[0]: row for row in result.rows}
+    # the uninformed baseline cleans hard; both informed modes barely clean
+    assert rows["block-fs"][1] > rows["pseudo-driver"][1]
+    assert rows["block-fs"][1] > rows["osd"][1]
+    # both informed modes actually told the device about the dead data
+    assert rows["pseudo-driver"][2] > 0
+    assert rows["osd"][2] > 0
+    assert rows["block-fs"][2] == 0
+
+
+def test_a6_ftl_family(benchmark):
+    result = benchmark.pedantic(
+        ablations.ftl_family, kwargs=dict(scale=0.5), **BENCH_OPTIONS
+    )
+    print("\n" + result.render())
+    mean_ms = {row[0]: row[1] for row in result.rows}
+    wa = {row[0]: row[2] for row in result.rows}
+    # the Table 2 mechanism: page-mapped absorbs random writes, hybrid sits
+    # in between, block-mapped pays a stripe RMW per write
+    assert mean_ms["pagemap"] < mean_ms["hybrid"] < mean_ms["blockmap"]
+    assert wa["pagemap"] < wa["hybrid"] < wa["blockmap"]
+
+
+def test_a5_wear_leveling(benchmark):
+    result = benchmark.pedantic(
+        ablations.wear_leveling, kwargs=dict(scale=0.4), **BENCH_OPTIONS
+    )
+    print("\n" + result.render())
+    rows = {row[0]: row for row in result.rows}
+    assert rows["dynamic+static"][3] > 0  # migrations happened
+    assert rows["dynamic+static"][2] <= rows["dynamic-only"][2]

@@ -1,0 +1,23 @@
+"""Benchmark + shape checks for Figure 2 (write-amplification saw-tooth)."""
+
+from benchmarks.conftest import BENCH_OPTIONS
+from repro.bench.experiments import figure2_sawtooth
+from repro.units import MIB
+
+
+def test_figure2_sawtooth(benchmark):
+    result = benchmark.pedantic(
+        figure2_sawtooth.run, kwargs=dict(scale=0.5), **BENCH_OPTIONS
+    )
+    print("\n" + result.render())
+    bw = {row[0]: row[2] for row in result.rows}
+
+    # bandwidth rises toward the stripe size
+    assert bw[512] < bw[256 * 1024] < bw[MIB]
+    # peak at every stripe multiple, collapse just past it
+    for multiple in (1, 2, 3):
+        peak = bw[multiple * MIB]
+        trough = bw[multiple * MIB + 512]
+        assert peak > 1.5 * trough, f"no saw-tooth at {multiple} MiB"
+    # peaks are about the same height (stripe-aligned writes never RMW)
+    assert abs(bw[MIB] - bw[2 * MIB]) / bw[MIB] < 0.25

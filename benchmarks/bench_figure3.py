@@ -1,0 +1,24 @@
+"""Figure 3 series check: the four response-time curves by class/scheme.
+
+Same experiment as Table 6; this bench validates the *figure's* series
+shapes rather than the improvement column.
+"""
+
+from benchmarks.conftest import BENCH_OPTIONS
+from repro.bench.experiments import table6_priority
+
+
+def test_figure3_series(benchmark):
+    result = benchmark.pedantic(
+        table6_priority.run, kwargs=dict(scale=0.4), **BENCH_OPTIONS
+    )
+    print("\n" + result.render())
+    # every series grows with write percentage (more cleaning pressure)
+    for column in ("FgAgnostic", "FgAware", "BgAgnostic", "BgAware"):
+        series = result.column(column)
+        assert series[-1] > series[0], f"{column} did not grow with writes"
+    # under the aware scheme the foreground should not be slower than the
+    # agnostic foreground at the heaviest load
+    fg_aware = result.column("FgAware")
+    fg_agnostic = result.column("FgAgnostic")
+    assert fg_aware[-1] <= fg_agnostic[-1] * 1.05

@@ -1,0 +1,15 @@
+"""Benchmark + shape check for the §3.2 SWTF scheduler result."""
+
+from benchmarks.conftest import BENCH_OPTIONS
+from repro.bench.experiments import swtf_scheduler
+
+
+def test_swtf_beats_fcfs(benchmark):
+    result = benchmark.pedantic(
+        swtf_scheduler.run, kwargs=dict(scale=0.5), **BENCH_OPTIONS
+    )
+    print("\n" + result.render())
+    improvement = result.metadata["improvement_pct"]
+    # the paper reports ~8%; anywhere clearly positive and sane reproduces
+    # the claim at reduced scale
+    assert 1.0 < improvement < 40.0

@@ -1,0 +1,17 @@
+"""Benchmark + shape checks for Table 1 (the unwritten contract)."""
+
+from benchmarks.conftest import BENCH_OPTIONS
+from repro.bench.experiments import table1_contract
+
+
+def test_table1_contract(benchmark):
+    result = benchmark.pedantic(
+        table1_contract.run, kwargs=dict(scale=1.0), **BENCH_OPTIONS
+    )
+    print("\n" + result.render())
+    # the SSD column must fail every term, as the paper argues
+    for row in result.rows:
+        ssd_measured = row[result.headers.index("ssd")]
+        assert ssd_measured == "F", f"term {row[0]}: SSD measured {ssd_measured}"
+    # overall agreement with the paper's table should be high
+    assert result.metadata["agreement"] >= 0.8

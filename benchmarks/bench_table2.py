@@ -1,0 +1,28 @@
+"""Benchmark + shape checks for Table 2 (seq/random bandwidth ratios)."""
+
+from benchmarks.conftest import BENCH_OPTIONS
+from repro.bench.experiments import table2_bandwidth
+
+
+def test_table2_bandwidth(benchmark):
+    result = benchmark.pedantic(
+        table2_bandwidth.run, kwargs=dict(scale=0.5), **BENCH_OPTIONS
+    )
+    print("\n" + result.render())
+    by_device = {row[0]: row for row in result.rows}
+
+    # HDD: the sequential/random gap is 1-2 orders of magnitude
+    assert by_device["HDD"][3] > 30    # read ratio
+    assert by_device["HDD"][6] > 10    # write ratio
+
+    # page-mapped SSDs: single-digit read ratios, low write ratios
+    for name in ("S1slc", "S4slc_sim", "S5mlc"):
+        assert by_device[name][3] < 20, name
+    assert by_device["S4slc_sim"][3] < 2.0   # the paper's near-1 ratio
+    assert by_device["S4slc_sim"][6] < 2.0
+
+    # block-mapped SSDs: random writes worse than the HDD's (the paper's
+    # headline anomaly)
+    assert by_device["S2slc"][5] < by_device["HDD"][5]
+    assert by_device["S2slc"][6] > 100
+    assert by_device["S3slc"][6] > 20

@@ -1,0 +1,22 @@
+"""Benchmark + shape checks for Table 3 (write alignment vs sequentiality)."""
+
+from benchmarks.conftest import BENCH_OPTIONS
+from repro.bench.experiments import table3_alignment
+
+
+def test_table3_alignment(benchmark):
+    result = benchmark.pedantic(
+        table3_alignment.run, kwargs=dict(scale=0.5), **BENCH_OPTIONS
+    )
+    print("\n" + result.render())
+    unaligned = result.row_by("Scheme", "Unaligned")[1:]
+    aligned = result.row_by("Scheme", "Aligned")[1:]
+
+    # unaligned response time is flat in sequentiality (~within 20%)
+    assert max(unaligned) / min(unaligned) < 1.25
+    # aligned matches unaligned with nothing to merge...
+    assert abs(aligned[0] - unaligned[0]) / unaligned[0] < 0.10
+    # ...and improves markedly at high sequentiality
+    assert aligned[-1] < 0.8 * unaligned[-1]
+    # the benefit grows with sequentiality
+    assert aligned[-1] < aligned[1]

@@ -1,0 +1,22 @@
+"""Benchmark + shape checks for Table 4 (macro-trace alignment benefit)."""
+
+from benchmarks.conftest import BENCH_OPTIONS
+from repro.bench.experiments import table4_macro
+
+
+def test_table4_macro(benchmark):
+    result = benchmark.pedantic(
+        table4_macro.run, kwargs=dict(scale=0.5), **BENCH_OPTIONS
+    )
+    print("\n" + result.render())
+    improvement = {row[0]: row[3] for row in result.rows}
+
+    # IOzone benefits the most — the paper's headline for this table
+    others = [improvement[k] for k in ("Postmark", "TPCC", "Exchange")]
+    assert improvement["IOzone"] > max(others)
+    assert improvement["IOzone"] > 10.0
+    # the OLTP-ish traces see only single-digit improvements
+    assert improvement["Postmark"] < 10.0
+    assert improvement["TPCC"] < 10.0
+    # nothing should get dramatically worse under alignment
+    assert all(v > -5.0 for v in improvement.values())

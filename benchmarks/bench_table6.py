@@ -1,0 +1,22 @@
+"""Benchmark + shape checks for Table 6 / Figure 3 (priority-aware cleaning)."""
+
+from benchmarks.conftest import BENCH_OPTIONS
+from repro.bench.experiments import table6_priority
+
+
+def test_table6_priority_cleaning(benchmark):
+    result = benchmark.pedantic(
+        table6_priority.run, kwargs=dict(scale=0.6), **BENCH_OPTIONS
+    )
+    print("\n" + result.render())
+    improvement = {row[0]: row[5] for row in result.rows}
+
+    # at 20% writes cleaning is rare: no meaningful difference
+    assert abs(improvement[20]) < 5.0
+    # at heavy write loads the foreground gains from the gate
+    heavy = [improvement[w] for w in (40, 50, 60, 80)]
+    assert sum(heavy) / len(heavy) > 2.0
+    assert max(heavy) > 5.0
+    # response times grow with the write share (cleaning pressure)
+    fg_agnostic = result.column("FgAgnostic")
+    assert fg_agnostic[-1] > fg_agnostic[0]

@@ -1,0 +1,4 @@
+"""Benchmark configuration: each experiment runs once per benchmark round
+(the experiments are deterministic; pytest-benchmark measures wall time)."""
+
+BENCH_OPTIONS = dict(rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Priority-aware cleaning (paper §3.6, Figure 3): QoS under garbage
+collection.
+
+An aged SSD serves a write-heavy open-loop workload in which 10% of
+requests are tagged foreground/priority.  With the priority-agnostic
+cleaner, foreground requests queue behind cleaning bursts; the
+priority-aware cleaner postpones cleaning (down to the critical watermark)
+while foreground requests are outstanding.
+
+Run:  python examples/priority_qos.py
+"""
+
+from repro import SSD, SSDConfig, Simulator
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.cleaning import CleaningConfig
+from repro.ftl.prefill import prefill_pagemap
+from repro.traces.synthetic import SyntheticConfig, generate_synthetic
+from repro.workloads.driver import replay_trace
+
+
+def run_scheme(priority_aware: bool):
+    sim = Simulator()
+    ssd = SSD(sim, SSDConfig(
+        name="aware" if priority_aware else "agnostic",
+        n_elements=16,  # enough parallelism to stay below saturation
+        geometry=FlashGeometry(page_bytes=4096, pages_per_block=32,
+                               blocks_per_element=256),  # 32 MB/element
+        cleaning=CleaningConfig(
+            low_watermark=0.05,       # the paper's 5%
+            critical_watermark=0.02,  # and 2%
+            priority_aware=priority_aware,
+            batch_pages=4,
+        ),
+        controller_overhead_us=5.0,
+    ))
+    prefill_pagemap(ssd.ftl, 0.72, overwrite_fraction=0.40)
+    warmup, measured = 12_000, 20_000
+    trace = generate_synthetic(SyntheticConfig(
+        count=warmup + measured,
+        region_bytes=int(ssd.capacity_bytes * 0.68),
+        request_bytes=4096,
+        read_fraction=0.4,            # 60% writes: cleaning is busy
+        interarrival_max_us=100.0,    # the paper's U(0, 0.1 ms)
+        priority_fraction=0.10,
+        seed=7,
+    ))
+    # measure past the warmup boundary: the device must reach cleaning
+    # steady state before the schemes are compared
+    boundary = trace[warmup].time_us
+    result = replay_trace(sim, ssd, trace)
+    fg = [c.response_us for c in result.completions
+          if c.submit_us >= boundary and c.priority > 0]
+    bg = [c.response_us for c in result.completions
+          if c.submit_us >= boundary and c.priority == 0]
+    return (
+        sum(fg) / len(fg) / 1000,
+        sum(bg) / len(bg) / 1000,
+        ssd.ftl.stats.clean_pages_moved,
+    )
+
+
+def main() -> None:
+    fg_a, bg_a, moved_a = run_scheme(priority_aware=False)
+    fg_p, bg_p, moved_p = run_scheme(priority_aware=True)
+
+    print("60%-write open-loop workload, 10% priority requests\n")
+    print(f"{'':26s}{'agnostic':>10s}{'aware':>10s}")
+    print(f"{'foreground mean (ms)':26s}{fg_a:10.3f}{fg_p:10.3f}")
+    print(f"{'background mean (ms)':26s}{bg_a:10.3f}{bg_p:10.3f}")
+    print(f"{'cleaner pages moved':26s}{moved_a:10d}{moved_p:10d}")
+    improvement = (fg_a - fg_p) / fg_a * 100
+    print(f"\nforeground improvement: {improvement:.1f}%  "
+          f"(paper Table 6: ~10% for write-heavy mixes)")
+
+
+if __name__ == "__main__":
+    main()

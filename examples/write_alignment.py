@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Write amplification and alignment (paper §3.4, Figure 2 + Table 3).
+
+Part 1 shows the Figure 2 saw-tooth: on a block-mapped device with a 1 MB
+stripe, bandwidth peaks when the write size aligns with the stripe and
+collapses just past each multiple.
+
+Part 2 shows the Table 3 cure: on a 32 KB-logical-page SSD near
+saturation, merging co-queued writes onto stripe boundaries leaves
+random streams untouched but halves response times for sequential ones.
+
+Run:  python examples/write_alignment.py      (takes ~15 s)
+"""
+
+from repro.bench.experiments.figure2_sawtooth import _bandwidth_for_size
+from repro.bench.experiments.table3_alignment import _mean_response_ms
+from repro.bench.plot import ascii_plot
+from repro.units import KIB, MIB
+
+
+def saw_tooth() -> None:
+    print("Part 1 — the Figure 2 saw-tooth (S2slc, 1 MB stripe)\n")
+    sizes = [256 * KIB, 512 * KIB, MIB, MIB + 512, MIB + 512 * KIB,
+             2 * MIB, 2 * MIB + 512, 3 * MIB]
+    points = []
+    for size in sizes:
+        bandwidth = _bandwidth_for_size(size, count=4, element_mb=32)
+        points.append((size / MIB, bandwidth))
+        marker = "  <-- stripe-aligned peak" if size % MIB == 0 else ""
+        print(f"  write {size / MIB:6.3f} MB -> {bandwidth:6.2f} MB/s{marker}")
+    print()
+    print(ascii_plot({"bandwidth": points}, width=48, height=10,
+                     x_label="write size (MB)", y_label="MB/s"))
+
+
+def alignment() -> None:
+    print("\nPart 2 — the Table 3 cure (32 KB logical page, merged writes)\n")
+    print(f"  {'P(sequential)':>14s} {'unaligned':>10s} {'aligned':>10s}")
+    for p in (0.0, 0.4, 0.8):
+        unaligned = _mean_response_ms(False, p, count=1500, seed=42)
+        aligned = _mean_response_ms(True, p, count=1500, seed=42)
+        print(f"  {p:14.1f} {unaligned:9.2f}ms {aligned:9.2f}ms")
+    print("\n  random writes (p=0): merging has nothing to do, no penalty;")
+    print("  sequential writes: one merged stripe write serves the whole run.")
+
+
+def main() -> None:
+    saw_tooth()
+    alignment()
+
+
+if __name__ == "__main__":
+    main()

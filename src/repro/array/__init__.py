@@ -1,0 +1,5 @@
+"""Disk arrays (the RAID column of the paper's Table 1)."""
+
+from repro.array.raid import RAID5, RAID5Config
+
+__all__ = ["RAID5", "RAID5Config"]

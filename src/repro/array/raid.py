@@ -1,0 +1,179 @@
+"""RAID-5 over model disks.
+
+Included for the contract table (Table 1): the array breaks contract terms
+the single disk keeps —
+
+* term 4 (no write amplification): a small write performs the classic
+  read-modify-write parity update (read old data + old parity, write new
+  data + new parity), so media bytes written exceed host bytes;
+* term 2 (distance ~ seek time): chunking across disks decouples LBN
+  distance from any single arm's travel;
+* term 6 (passive device): an optional background scrub keeps the array
+  busy without host requests.
+
+Parity is rotated per stripe (left-symmetric is overkill here; rotation is
+what matters for load spreading).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.device.interface import DeviceStats, IORequest, OpType, RequestError
+from repro.hdd.disk import HDD, HDDConfig
+from repro.sim.engine import Simulator
+from repro.units import GIB, SECTOR
+
+__all__ = ["RAID5", "RAID5Config"]
+
+
+@dataclass(frozen=True)
+class RAID5Config:
+    name: str = "raid5"
+    n_disks: int = 4
+    chunk_bytes: int = 64 * 1024
+    disk: HDDConfig = field(default_factory=lambda: HDDConfig(capacity_bytes=GIB))
+    #: issue a scrub read every interval (0 disables); term-6 probe material
+    scrub_interval_us: float = 0.0
+    scrub_bytes: int = 64 * 1024
+    #: scrubbing stops after this much simulated time (keeps the event loop
+    #: finite: an endless self-rescheduling scrub would never go idle)
+    scrub_duration_us: float = 1_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.n_disks < 3:
+            raise ValueError("RAID-5 needs at least 3 disks")
+        if self.chunk_bytes % SECTOR:
+            raise ValueError("chunk must be sector aligned")
+
+
+class RAID5:
+    """Software RAID-5 striping over :class:`repro.hdd.disk.HDD` members."""
+
+    def __init__(self, sim: Simulator, config: Optional[RAID5Config] = None) -> None:
+        self.sim = sim
+        self.config = config if config is not None else RAID5Config()
+        cfg = self.config
+        self.disks: List[HDD] = [
+            HDD(sim, replace(cfg.disk, name=f"{cfg.name}-d{i}"))
+            for i in range(cfg.n_disks)
+        ]
+        self._stats = DeviceStats()
+        data_disks = cfg.n_disks - 1
+        chunks_per_disk = self.disks[0].capacity_bytes // cfg.chunk_bytes
+        self._stripes = chunks_per_disk
+        self._capacity = self._stripes * data_disks * cfg.chunk_bytes
+        self.scrub_reads = 0
+        self._scrub_position = 0
+        if cfg.scrub_interval_us > 0:
+            sim.schedule(cfg.scrub_interval_us, self._scrub_tick)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    @property
+    def stats(self) -> DeviceStats:
+        self._stats.media_bytes_written = sum(
+            d.stats.media_bytes_written for d in self.disks
+        )
+        return self._stats
+
+    def submit(self, request: IORequest) -> None:
+        request.validate(self.capacity_bytes)
+        request.submit_us = self.sim.now
+        if request.op in (OpType.FREE, OpType.FLUSH):
+            self.sim.schedule(0.0, self._complete, request)
+            return
+        pieces = list(self._split(request.offset, request.size))
+        remaining = [0]
+
+        def child_done(_child: IORequest) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self._complete(request)
+
+        children: List[tuple[int, IORequest]] = []
+        for stripe, chunk_index, chunk_off, length in pieces:
+            disk_index, lba_offset = self._place(stripe, chunk_index, chunk_off)
+            if request.op is OpType.READ:
+                children.append(
+                    (disk_index,
+                     IORequest(OpType.READ, lba_offset, length,
+                               priority=request.priority, on_complete=child_done))
+                )
+            else:
+                children.extend(
+                    self._small_write(stripe, chunk_index, chunk_off, length,
+                                      request.priority, child_done)
+                )
+        remaining[0] = len(children)
+        if not children:
+            self.sim.schedule(0.0, self._complete, request)
+            return
+        for disk_index, child in children:
+            self.disks[disk_index].submit(child)
+
+    # ------------------------------------------------------------------
+
+    def _split(self, offset: int, size: int):
+        """Yield (stripe, chunk_index, offset_in_chunk, length) pieces."""
+        cfg = self.config
+        data_disks = cfg.n_disks - 1
+        pos = offset
+        end = offset + size
+        while pos < end:
+            chunk_global = pos // cfg.chunk_bytes
+            stripe = chunk_global // data_disks
+            chunk_index = chunk_global % data_disks
+            chunk_off = pos % cfg.chunk_bytes
+            length = min(cfg.chunk_bytes - chunk_off, end - pos)
+            yield stripe, chunk_index, chunk_off, length
+            pos += length
+
+    def _place(self, stripe: int, chunk_index: int, chunk_off: int) -> tuple[int, int]:
+        """Map a data chunk to (disk, byte offset); parity rotates by stripe."""
+        cfg = self.config
+        parity_disk = stripe % cfg.n_disks
+        disk_index = chunk_index if chunk_index < parity_disk else chunk_index + 1
+        return disk_index, stripe * cfg.chunk_bytes + chunk_off
+
+    def _small_write(self, stripe, chunk_index, chunk_off, length, priority, done):
+        """The RAID-5 small-write penalty: read old data and parity, write
+        new data and parity (4 media ops on 2 disks)."""
+        cfg = self.config
+        data_disk, data_off = self._place(stripe, chunk_index, chunk_off)
+        parity_disk = stripe % cfg.n_disks
+        parity_off = stripe * cfg.chunk_bytes + chunk_off
+        return [
+            (data_disk, IORequest(OpType.READ, data_off, length,
+                                  priority=priority, on_complete=done)),
+            (parity_disk, IORequest(OpType.READ, parity_off, length,
+                                    priority=priority, on_complete=done)),
+            (data_disk, IORequest(OpType.WRITE, data_off, length,
+                                  priority=priority, on_complete=done)),
+            (parity_disk, IORequest(OpType.WRITE, parity_off, length,
+                                    priority=priority, on_complete=done)),
+        ]
+
+    def _scrub_tick(self) -> None:
+        cfg = self.config
+        if self.sim.now >= cfg.scrub_duration_us:
+            return
+        disk = self.disks[self._scrub_position % cfg.n_disks]
+        offset = (self._scrub_position * cfg.scrub_bytes) % (
+            disk.capacity_bytes - cfg.scrub_bytes
+        )
+        self._scrub_position += 1
+        self.scrub_reads += 1
+        disk.submit(IORequest(OpType.READ, offset, cfg.scrub_bytes))
+        self.sim.schedule(cfg.scrub_interval_us, self._scrub_tick)
+
+    def _complete(self, request: IORequest) -> None:
+        request.complete_us = self.sim.now
+        self._stats.record(request)
+        if request.on_complete is not None:
+            request.on_complete(request)

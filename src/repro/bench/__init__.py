@@ -1,0 +1,11 @@
+"""Benchmark harness: one module per paper table/figure plus ablations.
+
+Every experiment module exposes ``run(scale=..., seed=...) -> ExperimentResult``
+and a ``main()`` that prints the paper-style table.  The CLI
+(``python -m repro.bench.cli <experiment>``) dispatches to them, and the
+``benchmarks/`` pytest-benchmark suite wraps reduced-scale runs.
+"""
+
+from repro.bench.tables import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

@@ -1,0 +1,71 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.bench.cli table2            # one experiment
+    python -m repro.bench.cli all --scale 0.5   # everything, reduced scale
+    python -m repro.bench.cli --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+EXPERIMENTS = {
+    "table1": "repro.bench.experiments.table1_contract",
+    "table2": "repro.bench.experiments.table2_bandwidth",
+    "swtf": "repro.bench.experiments.swtf_scheduler",
+    "figure2": "repro.bench.experiments.figure2_sawtooth",
+    "table3": "repro.bench.experiments.table3_alignment",
+    "table4": "repro.bench.experiments.table4_macro",
+    "table5": "repro.bench.experiments.table5_informed",
+    "table6": "repro.bench.experiments.table6_priority",
+    "figure3": "repro.bench.experiments.table6_priority",  # same data
+    "ablations": "repro.bench.experiments.ablations",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Regenerate the paper's tables and figures",
+    )
+    parser.add_argument("experiment", nargs="?",
+                        help=f"one of: {', '.join(EXPERIMENTS)}, or 'all'")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for name, module in EXPERIMENTS.items():
+            print(f"{name:10s} {module}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        names.remove("figure3")  # alias of table6
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error(f"unknown experiment {name!r}")
+        module = importlib.import_module(EXPERIMENTS[name])
+        started = time.time()
+        result = module.run(scale=args.scale, seed=args.seed)
+        results = result if isinstance(result, list) else [result]
+        for entry in results:
+            print(entry.render())
+            if entry.metadata:
+                for key, value in entry.metadata.items():
+                    if not isinstance(value, dict):
+                        print(f"  {key}: {value}")
+            print()
+        print(f"[{name} took {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

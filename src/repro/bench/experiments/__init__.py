@@ -1,0 +1,13 @@
+"""Experiment modules, one per paper table/figure (see DESIGN.md §4)."""
+
+__all__ = [
+    "table1_contract",
+    "table2_bandwidth",
+    "swtf_scheduler",
+    "figure2_sawtooth",
+    "table3_alignment",
+    "table4_macro",
+    "table5_informed",
+    "table6_priority",
+    "ablations",
+]

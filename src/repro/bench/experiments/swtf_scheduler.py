@@ -1,0 +1,83 @@
+"""§3.2 (in-text) — SWTF vs FCFS scheduling.
+
+Paper: "We performed a preliminary analysis with a new algorithm for SSD,
+called shortest wait time first (SWTF), which uses the queue wait times of
+all the parallel elements in an SSD and schedules an I/O that has the
+shortest wait time.  On a synthetic workload that issues random I/Os (with
+2/3 reads and 1/3 writes), we found that SWTF improves the response time by
+about 8% when compared to FCFS."
+
+Setup: page-mapped SSD, random 4 KB ops (67% reads), open-loop arrivals at
+~85% utilization so a host queue actually forms, dispatch width smaller
+than the element count so the scheduler has choices to make.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import ExperimentResult
+from repro.device.presets import s4slc_sim
+from repro.ftl.prefill import prefill_pagemap
+from repro.sim.engine import Simulator
+from repro.traces.synthetic import SyntheticConfig, generate_synthetic
+from repro.workloads.driver import replay_trace
+
+__all__ = ["run", "main"]
+
+
+def _mean_response(scheduler: str, count: int, seed: int) -> float:
+    sim = Simulator()
+    device = s4slc_sim(
+        sim,
+        element_mb=16,
+        scheduler=scheduler,
+        max_inflight=4,
+        controller_overhead_us=5.0,
+    )
+    prefill_pagemap(device.ftl, 0.70, overwrite_fraction=0.10)
+    trace = generate_synthetic(
+        SyntheticConfig(
+            count=count,
+            region_bytes=int(device.capacity_bytes * 0.65),
+            request_bytes=4096,
+            read_fraction=2.0 / 3.0,
+            seq_probability=0.0,
+            # mean 72.5 us: just below FCFS saturation, where dispatch order
+            # matters (scheduling is a no-op on an idle device, and past
+            # saturation FCFS collapses entirely); the ~8% gain is stable
+            # across run lengths at this point
+            interarrival_max_us=145.0,
+            seed=seed,
+        )
+    )
+    result = replay_trace(sim, device, trace)
+    return result.latency().mean_us
+
+
+def run(scale: float = 1.0, seed: int = 42) -> ExperimentResult:
+    count = max(2000, int(20_000 * scale))
+    fcfs = _mean_response("fcfs", count, seed)
+    swtf = _mean_response("swtf", count, seed)
+    improvement = (fcfs - swtf) / fcfs * 100.0
+    rows = [
+        ["FCFS", fcfs / 1000.0],
+        ["SWTF", swtf / 1000.0],
+    ]
+    return ExperimentResult(
+        experiment_id="swtf",
+        title="SWTF vs FCFS mean response time (ms), random 2/3-read 4 KB",
+        headers=["Scheduler", "MeanResponseMs"],
+        rows=rows,
+        metadata={"improvement_pct": improvement},
+        paper_reference={"improvement_pct": 8.0},
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run()
+    print(result.render())
+    print(f"\nSWTF improvement: {result.metadata['improvement_pct']:.1f}% "
+          f"(paper: ~8%)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

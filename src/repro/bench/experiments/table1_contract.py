@@ -1,0 +1,65 @@
+"""Table 1 — the unwritten contract, regenerated from measurements.
+
+Paper's verdicts (T satisfied / F violated / y approximately satisfied):
+
+    Term                                   Disk  RAID  MEMS  SSD
+    1. sequential >> random                  T     T     T    F
+    2. distance -> seek time                 y     F     T    F
+    3. LBN space interchangeable             F     F     T    F
+    4. no write amplification                T     F     T    F
+    5. media does not wear                   T     T     T    F
+    6. device is passive                     y     F     T    F
+
+The probe suite (:mod:`repro.core.contract`) measures each cell; the table
+prints measured vs paper verdicts plus the evidence string.  Honest
+divergences (e.g. RAID distance correlation, which *is* positive in a
+simple model even though the paper marks the term failed on indirection
+grounds) show up as mismatched cells rather than being tuned away.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import ExperimentResult
+from repro.core.contract import COLUMNS, PAPER_VERDICTS, TERMS, evaluate_contract
+
+__all__ = ["run", "main"]
+
+
+def run(scale: float = 1.0, seed: int = 42) -> ExperimentResult:
+    report = evaluate_contract()
+    headers = ["Term", "Assumption"]
+    for column in COLUMNS:
+        headers.extend([f"{column}", f"{column}(paper)"])
+    rows = []
+    for term in sorted(TERMS):
+        row = [term, TERMS[term][:44]]
+        for column in COLUMNS:
+            verdict = report.verdict(term, column)
+            row.extend([verdict.verdict, verdict.paper_verdict])
+        rows.append(row)
+    evidence = {
+        f"{term}/{column}": report.verdict(term, column).evidence
+        for term in sorted(TERMS)
+        for column in COLUMNS
+    }
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Unwritten Contract (measured vs paper verdicts)",
+        headers=headers,
+        rows=rows,
+        metadata={"evidence": evidence, "agreement": report.agreement()},
+        paper_reference=PAPER_VERDICTS,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    result = run()
+    print(result.render())
+    print(f"\nagreement with paper: {result.metadata['agreement']:.0%}")
+    print("\nevidence:")
+    for key, value in result.metadata["evidence"].items():
+        print(f"  {key:10s} {value}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,135 @@
+"""Figure 3 + Table 6 — Priority-Aware Cleaning.
+
+Paper: "We modified the cleaning logic of our SSD simulator to be aware of
+request priorities.  If there are no outstanding priority requests,
+cleaning starts when the number of free pages falls below a low threshold.
+However, if there are priority requests, cleaning is postponed until the
+number of free pages falls below a critical threshold. ... We evaluated a
+32 GB SSD using synthetic benchmarks with request inter-arrival times
+uniformly distributed between 0 and 0.1 ms.  The fraction of priority
+requests was set to 10%; critical and low thresholds were fixed at 2% and
+5% of free pages."
+
+Table 6 (foreground response-time improvement):
+
+    Writes (%)       20    40     50     60     80
+    Improvement (%)  0     9.56   10.27  9.61   9.47
+
+Figure 3 plots the four series (foreground/background x aware/agnostic).
+Expected shape: foreground improves ~10% once cleaning is frequent
+(writes >= 40%), background pays for it; at 20% writes cleaning is rare and
+nothing changes.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import ExperimentResult
+from repro.device.presets import s4slc_sim
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.cleaning import CleaningConfig
+from repro.ftl.prefill import prefill_pagemap
+from repro.sim.engine import Simulator
+from repro.traces.synthetic import SyntheticConfig, generate_synthetic
+from repro.workloads.driver import replay_trace
+
+__all__ = ["run", "main", "WRITE_POINTS", "PAPER_TABLE6"]
+
+WRITE_POINTS = (20, 40, 50, 60, 80)
+
+PAPER_TABLE6 = {20: 0.0, 40: 9.56, 50: 10.27, 60: 9.61, 80: 9.47}
+
+
+def _run_once(write_pct: int, priority_aware: bool, count: int, warmup: int,
+              seed: int):
+    sim = Simulator()
+    # elements large enough that the 2% critical watermark clears the
+    # allocation reserve (trivially true on the paper's 32 GB device;
+    # at simulation scale it needs 32 MB elements)
+    device = s4slc_sim(
+        sim,
+        element_mb=32,
+        n_elements=16,
+        geometry=FlashGeometry(
+            page_bytes=4096, pages_per_block=32, blocks_per_element=256
+        ),
+        controller_overhead_us=5.0,
+        max_inflight=32,
+        cleaning=CleaningConfig(
+            low_watermark=0.05,
+            critical_watermark=0.02,
+            priority_aware=priority_aware,
+            batch_pages=4,  # cleaning yields to the gate between batches
+        ),
+    )
+    prefill_pagemap(device.ftl, 0.72, overwrite_fraction=0.40)
+    trace = generate_synthetic(
+        SyntheticConfig(
+            count=warmup + count,
+            region_bytes=int(device.capacity_bytes * 0.68),
+            request_bytes=4096,
+            read_fraction=1.0 - write_pct / 100.0,
+            seq_probability=0.0,
+            interarrival_max_us=100.0,  # the paper's U(0, 0.1 ms)
+            priority_fraction=0.10,
+            seed=seed,
+        )
+    )
+    # measure only past the warmup boundary: the device must reach cleaning
+    # steady state before the schemes are compared
+    boundary = trace[warmup].time_us if warmup < len(trace) else 0.0
+    result = replay_trace(sim, device, trace)
+    fg = [c.response_us for c in result.completions
+          if c.submit_us >= boundary and c.priority > 0]
+    bg = [c.response_us for c in result.completions
+          if c.submit_us >= boundary and c.priority == 0]
+    mean_fg = sum(fg) / len(fg) / 1000.0 if fg else 0.0
+    mean_bg = sum(bg) / len(bg) / 1000.0 if bg else 0.0
+    return mean_fg, mean_bg
+
+
+def run(scale: float = 1.0, seed: int = 42) -> ExperimentResult:
+    count = max(4000, int(20_000 * scale))
+    warmup = max(3000, int(12_000 * scale))
+    rows = []
+    for write_pct in WRITE_POINTS:
+        fg_agnostic, bg_agnostic = _run_once(write_pct, False, count, warmup, seed)
+        fg_aware, bg_aware = _run_once(write_pct, True, count, warmup, seed)
+        improvement = (
+            (fg_agnostic - fg_aware) / fg_agnostic * 100.0 if fg_agnostic else 0.0
+        )
+        rows.append(
+            [write_pct, fg_agnostic, fg_aware, bg_agnostic, bg_aware, improvement]
+        )
+    return ExperimentResult(
+        experiment_id="table6",
+        title="Priority-aware cleaning: response time (ms) by class",
+        headers=[
+            "Writes%",
+            "FgAgnostic",
+            "FgAware",
+            "BgAgnostic",
+            "BgAware",
+            "FgImprovement%",
+        ],
+        rows=rows,
+        paper_reference=PAPER_TABLE6,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    from repro.bench.plot import ascii_plot
+
+    result = run()
+    print(result.render())
+    series = {}
+    for column in ("FgAgnostic", "BgAgnostic", "FgAware", "BgAware"):
+        series[column] = list(zip(result.column("Writes%"),
+                                  result.column(column)))
+    print()
+    print(ascii_plot(series, title="Figure 3 (reproduced)",
+                     x_label="writes %", y_label="response ms"))
+    print("\npaper: ~10% foreground improvement for writes >= 40%, none at 20%")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

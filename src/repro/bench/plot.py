@@ -1,0 +1,74 @@
+"""ASCII plotting for the paper's figures.
+
+Terminal-renderable line charts so ``python -m repro.bench.cli figure2``
+shows the saw-tooth *as a figure*, not just a table.  Deliberately small:
+one scatter/line renderer with multi-series support and a legend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series into an ASCII chart.
+
+    Points are plotted on a ``width`` x ``height`` grid scaled to the data's
+    bounding box; each series gets a marker from ``oxx+*#@`` in insertion
+    order.  Returns the chart as a string.
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in values:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    lines.append(
+        " " * gutter
+        + f"{x_lo:.3g}".ljust(width // 2)
+        + f"{x_hi:.3g}".rjust(width - width // 2)
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{y_label} vs {x_label}   [{legend}]")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Result containers and ASCII table rendering for the bench harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table (right-aligned numbers, left-aligned text)."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in cells))
+        if cells
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+
+    def render_row(values: Sequence[str]) -> str:
+        return "  ".join(str(v).rjust(widths[i]) for i, v in enumerate(values))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: table rows plus free-form metadata.
+
+    ``paper_reference`` holds the numbers the paper reports so EXPERIMENTS.md
+    and the test suite can compare shapes without re-reading the PDF.
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    paper_reference: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return format_table(
+            self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}"
+        )
+
+    def column(self, header: str) -> List[Any]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_by(self, header: str, key: Any) -> List[Any]:
+        index = self.headers.index(header)
+        for row in self.rows:
+            if row[index] == key:
+                return row
+        raise KeyError(f"no row with {header}={key!r}")

@@ -1,0 +1,36 @@
+"""The paper's contribution: object-based storage for SSDs (§3.7).
+
+"Block management must be removed from the file system and delegated to the
+SSD ... object-based storage is an appropriate way to achieve this."
+
+* :class:`repro.core.store.ObjectStore` — the OSD command set (CREATE /
+  READ / WRITE / REMOVE / GET-SET ATTRIBUTES / LIST) running *as device
+  firmware*: it performs block allocation and layout (stripe-aligned), turns
+  object removal into immediate free-page knowledge (informed cleaning),
+  maps object priority attributes onto request priorities (priority-aware
+  cleaning), and places read-only/root objects by tier (wear-leveling and
+  SLC/MLC co-location).
+* :class:`repro.core.fs_shim.BlockFilesystem` — the baseline: a file system
+  doing its own block management over the narrow interface, optionally with
+  the paper's Ext3 "pseudo-device driver" delete-notification hack.
+* :mod:`repro.core.contract` — the unwritten-contract probe suite that
+  regenerates Table 1 from measurements.
+"""
+
+from repro.core.object import ObjectAttributes, ObjectDescriptor
+from repro.core.allocator import Extent, ExtentAllocator, OutOfSpaceError
+from repro.core.store import ObjectStore
+from repro.core.fs_shim import BlockFilesystem
+from repro.core.placement import LinearPlacement, TieredPlacement
+
+__all__ = [
+    "ObjectAttributes",
+    "ObjectDescriptor",
+    "Extent",
+    "ExtentAllocator",
+    "OutOfSpaceError",
+    "ObjectStore",
+    "BlockFilesystem",
+    "LinearPlacement",
+    "TieredPlacement",
+]

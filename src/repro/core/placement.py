@@ -1,0 +1,61 @@
+"""Object placement policies (§3.3).
+
+A placement policy maps object attributes to the physical region the
+allocator may use.  :class:`LinearPlacement` is the whole device;
+:class:`TieredPlacement` splits a heterogeneous device at its tier boundary
+and pins fast-tier objects (priority, or ``tier="fast"``) into SLC —
+"an SSD can choose to co-locate all the data belonging to a root object in
+SLC memory for faster access."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.object import ObjectAttributes
+
+__all__ = ["LinearPlacement", "TieredPlacement"]
+
+
+class LinearPlacement:
+    """No tiers: every object may live anywhere."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self.capacity_bytes = capacity_bytes
+
+    def region_for(self, attributes: ObjectAttributes) -> Tuple[int, int]:
+        return (0, self.capacity_bytes)
+
+    def fallback_region(self, attributes: ObjectAttributes) -> Optional[Tuple[int, int]]:
+        return None
+
+
+class TieredPlacement:
+    """Fast tier [0, boundary) for hot objects, capacity tier beyond.
+
+    Placement is a preference: if the preferred tier is full the allocator
+    falls back to the other one (``fallback_region``).
+    """
+
+    def __init__(self, capacity_bytes: int, tier_boundary: int) -> None:
+        if not 0 < tier_boundary < capacity_bytes:
+            raise ValueError("tier boundary must fall inside the device")
+        self.capacity_bytes = capacity_bytes
+        self.tier_boundary = tier_boundary
+
+    def _wants_fast(self, attributes: ObjectAttributes) -> bool:
+        if attributes.tier == "fast":
+            return True
+        if attributes.tier == "capacity":
+            return False
+        return attributes.priority > 0
+
+    def region_for(self, attributes: ObjectAttributes) -> Tuple[int, int]:
+        if self._wants_fast(attributes):
+            return (0, self.tier_boundary)
+        return (self.tier_boundary, self.capacity_bytes)
+
+    def fallback_region(self, attributes: ObjectAttributes) -> Optional[Tuple[int, int]]:
+        if self._wants_fast(attributes):
+            return (self.tier_boundary, self.capacity_bytes)
+        return (0, self.tier_boundary)

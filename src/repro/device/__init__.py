@@ -1,0 +1,28 @@
+"""Storage devices: the SSD simulator plus the common block interface.
+
+Everything that looks like a disk in this repo — the SSD, the HDD model,
+RAID, MEMS, tiered SSDs — implements the :class:`repro.device.interface.StorageDevice`
+protocol: ``submit(request)`` with completion callbacks on the shared event
+loop.  Higher layers (workload drivers, the object store, the contract
+checker) only ever see this protocol.
+"""
+
+from repro.device.interface import (
+    Completion,
+    DeviceStats,
+    IORequest,
+    OpType,
+    StorageDevice,
+)
+from repro.device.ssd import SSD
+from repro.device.ssd_config import SSDConfig
+
+__all__ = [
+    "Completion",
+    "DeviceStats",
+    "IORequest",
+    "OpType",
+    "StorageDevice",
+    "SSD",
+    "SSDConfig",
+]

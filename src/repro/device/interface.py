@@ -1,0 +1,177 @@
+"""The block-level storage interface shared by every device model.
+
+This is deliberately the narrow interface the paper critiques: READ/WRITE on
+a byte range (sector-aligned), extended only by FREE (the TRIM-style delete
+notification of §3.5/[8]) and FLUSH.  Requests carry a priority flag so the
+paper's priority experiments (§3.6) can tag foreground I/O; a device that
+ignores priorities simply treats every request the same.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from repro.sim.stats import LatencyRecorder
+from repro.units import SECTOR
+
+__all__ = [
+    "OpType",
+    "IORequest",
+    "Completion",
+    "DeviceStats",
+    "StorageDevice",
+    "RequestError",
+]
+
+
+class RequestError(ValueError):
+    """Raised when a request violates the device's addressing rules."""
+
+
+class OpType(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    #: delete notification (TRIM): the byte range no longer holds live data
+    FREE = "free"
+    #: barrier / cache flush
+    FLUSH = "flush"
+
+
+@dataclass
+class IORequest:
+    """One host request against a block device.
+
+    ``offset`` and ``size`` are bytes and must be sector-aligned.  ``priority``
+    is 0 for normal (background) traffic and >0 for foreground/priority
+    traffic (§3.6).  ``on_complete`` fires once, on the simulator clock, with
+    the finished request; ``submit_us``/``complete_us`` are stamped by the
+    device.
+    """
+
+    op: OpType
+    offset: int
+    size: int
+    priority: int = 0
+    on_complete: Optional[Callable[["IORequest"], None]] = None
+    tag: Optional[object] = None
+    #: semantic hints (e.g. {"temp": "cold"}).  Only device-internal layers
+    #: such as the OSD object store set these; a file system speaking the
+    #: narrow block interface cannot — which is the paper's point.
+    hints: Optional[dict] = None
+
+    submit_us: float = field(default=-1.0, compare=False)
+    complete_us: float = field(default=-1.0, compare=False)
+
+    @property
+    def response_us(self) -> float:
+        """Response time; valid only after completion."""
+        if self.complete_us < 0 or self.submit_us < 0:
+            raise RequestError("request has not completed")
+        return self.complete_us - self.submit_us
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+    def validate(self, capacity_bytes: int) -> None:
+        if self.op is OpType.FLUSH:
+            return
+        if self.size <= 0:
+            raise RequestError(f"request size must be positive, got {self.size}")
+        if self.offset < 0:
+            raise RequestError(f"negative offset {self.offset}")
+        if self.offset % SECTOR or self.size % SECTOR:
+            raise RequestError(
+                f"offset/size must be {SECTOR}-byte aligned "
+                f"(offset={self.offset}, size={self.size})"
+            )
+        if self.offset + self.size > capacity_bytes:
+            raise RequestError(
+                f"request [{self.offset}, {self.offset + self.size}) exceeds "
+                f"capacity {capacity_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class Completion:
+    """Summary of one finished request (used by drivers that batch results)."""
+
+    op: OpType
+    offset: int
+    size: int
+    priority: int
+    submit_us: float
+    complete_us: float
+
+    @property
+    def response_us(self) -> float:
+        return self.complete_us - self.submit_us
+
+    @classmethod
+    def of(cls, request: IORequest) -> "Completion":
+        return cls(
+            op=request.op,
+            offset=request.offset,
+            size=request.size,
+            priority=request.priority,
+            submit_us=request.submit_us,
+            complete_us=request.complete_us,
+        )
+
+
+class DeviceStats:
+    """Per-device accounting every model keeps.
+
+    * latency recorders split by op and by priority class,
+    * bytes moved at the host interface,
+    * ``media_bytes_written`` — bytes physically written to the medium, the
+      numerator of the write-amplification factor (contract term 4).
+    """
+
+    def __init__(self) -> None:
+        self.reads = LatencyRecorder()
+        self.writes = LatencyRecorder()
+        self.priority_reads = LatencyRecorder()
+        self.priority_writes = LatencyRecorder()
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.media_bytes_written = 0
+        self.requests_completed = 0
+
+    def record(self, request: IORequest) -> None:
+        latency = request.response_us
+        self.requests_completed += 1
+        if request.op is OpType.READ:
+            self.bytes_read += request.size
+            self.reads.record(latency)
+            if request.priority > 0:
+                self.priority_reads.record(latency)
+        elif request.op is OpType.WRITE:
+            self.bytes_written += request.size
+            self.writes.record(latency)
+            if request.priority > 0:
+                self.priority_writes.record(latency)
+
+    @property
+    def write_amplification(self) -> float:
+        """Media bytes written per host byte written (1.0 when no writes)."""
+        if self.bytes_written == 0:
+            return 1.0
+        return self.media_bytes_written / self.bytes_written
+
+
+@runtime_checkable
+class StorageDevice(Protocol):
+    """The protocol every device model implements."""
+
+    @property
+    def capacity_bytes(self) -> int: ...
+
+    @property
+    def stats(self) -> DeviceStats: ...
+
+    def submit(self, request: IORequest) -> None:
+        """Accept a request; completion is signalled via request.on_complete."""
+        ...

@@ -1,0 +1,78 @@
+"""Host-queue dispatch policies for the SSD.
+
+Two policies from the paper:
+
+* **FCFS** — dispatch strictly in arrival order; a write that cannot be
+  admitted (flash allocation backpressure) blocks the queue head, as on a
+  simple device.
+* **SWTF** (*shortest wait time first*, §3.2) — "uses the queue wait times
+  of all the parallel elements in an SSD and schedules an I/O that has the
+  shortest wait time."  For each queued request we estimate the wait as the
+  maximum of the target elements' queued work (a striped request finishes
+  when its slowest shard does) and dispatch the minimum.  Inadmissible
+  writes are skipped rather than blocking (the controller can reorder).
+
+Schedulers only *choose*; the SSD performs admission and dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.device.interface import IORequest, OpType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.device.ssd import SSD
+
+__all__ = ["FCFSScheduler", "SWTFScheduler", "make_scheduler"]
+
+
+class FCFSScheduler:
+    """First-come first-served with head-of-line blocking."""
+
+    name = "fcfs"
+
+    def select(self, queue: List[IORequest], ssd: "SSD") -> Optional[int]:
+        if not queue:
+            return None
+        if ssd.admissible(queue[0]):
+            return 0
+        return None
+
+
+class SWTFScheduler:
+    """Shortest-wait-time-first over the parallel elements (§3.2)."""
+
+    name = "swtf"
+
+    def select(self, queue: List[IORequest], ssd: "SSD") -> Optional[int]:
+        best_index: Optional[int] = None
+        best_wait = float("inf")
+        for index, request in enumerate(queue):
+            if not ssd.admissible(request):
+                continue
+            wait = self._estimated_wait(request, ssd)
+            if wait < best_wait:
+                best_wait = wait
+                best_index = index
+                if wait == 0.0:
+                    break  # cannot do better than an idle target
+        return best_index
+
+    @staticmethod
+    def _estimated_wait(request: IORequest, ssd: "SSD") -> float:
+        if request.op in (OpType.FREE, OpType.FLUSH):
+            return 0.0
+        elements = ssd.ftl.elements_for_range(request.offset, request.size)
+        if not elements:
+            return 0.0
+        return max(ssd.ftl.elements[e].queue_wait_us() for e in elements)
+
+
+def make_scheduler(name: str):
+    """Factory keyed by config string."""
+    if name == "fcfs":
+        return FCFSScheduler()
+    if name == "swtf":
+        return SWTFScheduler()
+    raise ValueError(f"unknown scheduler {name!r} (expected 'fcfs' or 'swtf')")

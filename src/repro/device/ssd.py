@@ -1,0 +1,272 @@
+"""The SSD device model (paper Figure 1).
+
+Request lifecycle::
+
+    submit -> host queue -> [scheduler picks] -> controller overhead
+           -> WRITE: host-link transfer -> write buffer -> FTL fan-out
+           -> READ:  buffer flush check -> FTL fan-out -> host-link transfer
+           -> FREE:  FTL trim (when trim_enabled) — metadata only
+           -> FLUSH: write-buffer drain
+    completion -> stats, on_complete callback
+
+Concurrency model: up to ``max_inflight`` requests are in service at once
+(NCQ-style).  Reads hold their slot until data returns; writes release it
+once the device has absorbed the data (buffer insert), which is when a real
+device acknowledges a cached write command's transfer.  Flash-level
+parallelism and queueing happen inside the per-element FIFOs; background
+cleaning competes there, which is exactly the interference §3.6 studies.
+
+Priority plumbing: the count of outstanding priority requests feeds the
+FTL's cleaner through ``priority_probe``, enabling the paper's
+priority-aware cleaning.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.device.interface import DeviceStats, IORequest, OpType
+from repro.device.scheduler import make_scheduler
+from repro.device.ssd_config import SSDConfig
+from repro.device.write_buffer import (
+    AligningWriteBuffer,
+    PassthroughBuffer,
+    QueueMergingBuffer,
+)
+from repro.flash.element import FlashElement
+from repro.ftl.blockmap import BlockMappedFTL
+from repro.ftl.hybrid import HybridLogBlockFTL
+from repro.ftl.pagemap import PageMappedFTL
+from repro.sim.engine import Simulator
+from repro.sim.resource import SerialResource
+
+__all__ = ["SSD"]
+
+
+class SSD:
+    """A simulated solid-state device (see module docstring)."""
+
+    def __init__(self, sim: Simulator, config: Optional[SSDConfig] = None) -> None:
+        self.sim = sim
+        self.config = config if config is not None else SSDConfig()
+        cfg = self.config
+
+        self.elements: List[FlashElement] = []
+        for index in range(cfg.n_elements):
+            timing = cfg.timing
+            if cfg.element_timings and index in cfg.element_timings:
+                timing = cfg.element_timings[index]
+            self.elements.append(
+                FlashElement(sim, cfg.geometry, timing, element_id=index)
+            )
+
+        if cfg.ftl_type == "pagemap":
+            self.ftl = PageMappedFTL(
+                sim,
+                self.elements,
+                logical_page_bytes=cfg.logical_page_bytes,
+                spare_fraction=cfg.spare_fraction,
+                cleaning=cfg.cleaning,
+                wear=cfg.wear,
+            )
+            stripe = self.ftl.logical_page_bytes
+        elif cfg.ftl_type == "blockmap":
+            self.ftl = BlockMappedFTL(
+                sim,
+                self.elements,
+                gang_size=cfg.gang_size,
+                spare_fraction=cfg.spare_fraction,
+            )
+            stripe = self.ftl.stripe_bytes
+        else:
+            self.ftl = HybridLogBlockFTL(
+                sim,
+                self.elements,
+                gang_size=cfg.gang_size,
+                spare_fraction=cfg.spare_fraction,
+                max_log_rows=cfg.max_log_rows,
+            )
+            stripe = self.ftl.stripe_bytes
+
+        if cfg.write_buffer == "align":
+            self.write_buffer = AligningWriteBuffer(
+                sim,
+                self.ftl,
+                logical_page_bytes=cfg.buffer_page_bytes or stripe,
+                window_us=cfg.buffer_window_us,
+                capacity_bytes=cfg.buffer_capacity_bytes,
+                ack=cfg.buffer_ack,
+            )
+        elif cfg.write_buffer == "queue-merge":
+            self.write_buffer = QueueMergingBuffer(
+                sim, self.ftl, self,
+                logical_page_bytes=cfg.buffer_page_bytes or stripe,
+            )
+        else:
+            self.write_buffer = PassthroughBuffer(sim, self.ftl)
+
+        self.scheduler = make_scheduler(cfg.scheduler)
+        self.link = SerialResource(sim, cfg.host_interface_mb_s)
+        self._stats = DeviceStats()
+        self._queue: List[IORequest] = []
+        self._inflight = 0
+        self._pending_priority = 0
+        self._early_released: Set[int] = set()
+
+        self.ftl.priority_probe = lambda: self._pending_priority
+        self.ftl.on_space_freed = self._space_freed
+
+    # ------------------------------------------------------------------
+    # StorageDevice protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.ftl.logical_capacity_bytes
+
+    @property
+    def stats(self) -> DeviceStats:
+        self._stats.media_bytes_written = self.ftl.media_bytes_written
+        return self._stats
+
+    def submit(self, request: IORequest) -> None:
+        request.validate(self.capacity_bytes)
+        request.submit_us = self.sim.now
+        if request.priority > 0:
+            self._pending_priority += 1
+        self._queue.append(request)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # dispatch machinery
+    # ------------------------------------------------------------------
+
+    def admissible(self, request: IORequest) -> bool:
+        """Can this request start service now (flash allocation headroom)?"""
+        if request.op is OpType.WRITE:
+            return self.write_buffer.admits(request.offset, request.size)
+        return True
+
+    def _pump(self) -> None:
+        while self._inflight < self.config.max_inflight and self._queue:
+            index = self.scheduler.select(self._queue, self)
+            if index is None:
+                head = self._queue[0] if self._queue else None
+                if head is not None and head.op is OpType.WRITE:
+                    self.ftl.stats.write_stalls += 1
+                    # blocked on allocation headroom: force reclamation
+                    self.ftl.ensure_space(head.offset, head.size)
+                return
+            request = self._queue.pop(index)
+            self._inflight += 1
+            self.sim.schedule(
+                self.config.controller_overhead_us, self._dispatch, request
+            )
+
+    def _dispatch(self, request: IORequest) -> None:
+        op = request.op
+        if op is OpType.WRITE:
+            self.link.transfer(
+                request.size, lambda now, r=request: self._write_arrived(r)
+            )
+        elif op is OpType.READ:
+            self.write_buffer.before_read(
+                request.offset,
+                request.size,
+                proceed=lambda r=request: self.ftl.read(
+                    r.offset, r.size, done=lambda now, rr=r: self._read_media_done(rr)
+                ),
+            )
+        elif op is OpType.FREE:
+            if self.config.trim_enabled:
+                self.ftl.trim(request.offset, request.size)
+            self._complete(request)
+        elif op is OpType.FLUSH:
+            self.write_buffer.flush_all(lambda r=request: self._complete(r))
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unhandled op {op!r}")
+
+    def _write_arrived(self, request: IORequest) -> None:
+        """Host data fully transferred: hand to the buffer.
+
+        A write-back cache (buffer acking on insert) frees the NCQ slot
+        immediately; otherwise the slot is held until the media completes,
+        as with real NCQ commands.
+        """
+        if getattr(self.write_buffer, "ack", None) == "insert":
+            self._early_released.add(id(request))
+            self.write_buffer.insert(request, complete=self._complete)
+            self._release_slot()
+        else:
+            self.write_buffer.insert(request, complete=self._complete)
+
+    def _read_media_done(self, request: IORequest) -> None:
+        """Flash reads finished: return data over the host link."""
+        self.link.transfer(
+            request.size, lambda now, r=request: self._complete(r)
+        )
+
+    def _complete(self, request: IORequest) -> None:
+        request.complete_us = self.sim.now
+        self._stats.record(request)
+        if request.priority > 0:
+            self._pending_priority -= 1
+            if self._pending_priority == 0:
+                self.ftl.priority_idle()
+        if id(request) in self._early_released:
+            self._early_released.discard(id(request))
+        else:
+            self._release_slot()
+        if request.on_complete is not None:
+            request.on_complete(request)
+
+    def _release_slot(self) -> None:
+        self._inflight -= 1
+        self._pump()
+
+    def steal_queued_writes(self, lo: int, hi: int) -> List[IORequest]:
+        """Remove and return queued WRITEs *starting* inside [lo, hi].
+
+        Used by :class:`QueueMergingBuffer`: the stolen requests ride along
+        with the write being dispatched (their completions fire with the
+        merged batch, so they never occupy a dispatch slot of their own).
+        A stolen request may extend past ``hi``; the buffer grows its merge
+        window and steals again, chaining contiguous streams.
+        """
+        stolen: List[IORequest] = []
+        kept: List[IORequest] = []
+        for queued in self._queue:
+            if queued.op is OpType.WRITE and lo <= queued.offset <= hi:
+                stolen.append(queued)
+                self._early_released.add(id(queued))
+            else:
+                kept.append(queued)
+        if stolen:
+            self._queue = kept
+        return stolen
+
+    def _space_freed(self) -> None:
+        self.write_buffer.on_space_freed()
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def pending_priority(self) -> int:
+        return self._pending_priority
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SSD {self.config.name} queued={len(self._queue)} "
+            f"inflight={self._inflight}>"
+        )

@@ -1,0 +1,83 @@
+"""SSD configuration: one dataclass aggregating every knob of the simulator.
+
+Presets for the paper's devices live in :mod:`repro.device.presets`; this
+module only defines the schema and its validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.ftl.cleaning import CleaningConfig
+from repro.ftl.wearlevel import WearConfig
+
+__all__ = ["SSDConfig"]
+
+FTL_TYPES = ("pagemap", "blockmap", "hybrid")
+BUFFER_TYPES = ("passthrough", "align", "queue-merge")
+
+
+@dataclass(frozen=True)
+class SSDConfig:
+    """Full parameterization of one simulated SSD."""
+
+    name: str = "ssd"
+    #: number of independently-schedulable flash elements (packages/dies)
+    n_elements: int = 8
+    geometry: FlashGeometry = field(default_factory=FlashGeometry)
+    timing: FlashTiming = field(default_factory=FlashTiming.slc)
+    #: per-element timing overrides (element index -> timing) for
+    #: heterogeneous SLC/MLC devices (§3.3)
+    element_timings: Optional[Dict[int, FlashTiming]] = None
+
+    ftl_type: str = "pagemap"
+    #: page-mapped FTL: mapping/striping unit (defaults to the flash page)
+    logical_page_bytes: Optional[int] = None
+    #: block-mapped / hybrid FTL: elements per gang (defaults to all)
+    gang_size: Optional[int] = None
+    #: hybrid FTL: log stripes per gang
+    max_log_rows: int = 4
+    spare_fraction: float = 0.10
+
+    cleaning: CleaningConfig = field(default_factory=CleaningConfig)
+    wear: WearConfig = field(default_factory=WearConfig)
+    #: process FREE (TRIM) notifications — the paper's informed mode (§3.5)
+    trim_enabled: bool = False
+
+    scheduler: str = "fcfs"
+    #: maximum host requests being serviced concurrently (NCQ depth)
+    max_inflight: int = 32
+    #: fixed firmware/protocol cost per host request
+    controller_overhead_us: float = 20.0
+    #: host link (SATA/PCIe) bandwidth
+    host_interface_mb_s: float = 250.0
+
+    write_buffer: str = "passthrough"
+    #: alignment unit of the merging buffer (defaults to the FTL stripe)
+    buffer_page_bytes: Optional[int] = None
+    buffer_window_us: float = 1000.0
+    buffer_capacity_bytes: int = 1 << 20
+    buffer_ack: str = "flush"
+
+    def __post_init__(self) -> None:
+        if self.n_elements <= 0:
+            raise ValueError("n_elements must be positive")
+        if self.ftl_type not in FTL_TYPES:
+            raise ValueError(f"ftl_type must be one of {FTL_TYPES}")
+        if self.write_buffer not in BUFFER_TYPES:
+            raise ValueError(f"write_buffer must be one of {BUFFER_TYPES}")
+        if self.max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        if self.controller_overhead_us < 0:
+            raise ValueError("controller_overhead_us must be non-negative")
+
+    def with_(self, **overrides) -> "SSDConfig":
+        """Copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def raw_capacity_bytes(self) -> int:
+        return self.n_elements * self.geometry.element_bytes

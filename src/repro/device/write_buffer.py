@@ -1,0 +1,335 @@
+"""Write buffering: passthrough, stripe-aligning merge, and write-back cache.
+
+§3.4 of the paper: "Write amplification can be reduced by merging writes and
+aligning them to stripe sizes.  Since it is harder to estimate the stripe
+size and alignment boundaries from a file system ..., an SSD must be
+responsible for sector allocation and layout according to the stripe sizes."
+
+Three behaviours, selected by the SSD config:
+
+* :class:`PassthroughBuffer` — issue writes exactly as they arrive (the
+  paper's *unaligned* baseline in Tables 3/4).
+* :class:`AligningWriteBuffer` with ``ack="flush"`` — hold writes briefly,
+  merge contiguous runs, and flush a logical page as soon as the buffered
+  runs cover it completely (or a hold window expires, or capacity presses).
+  Requests complete when their last flush completes, so response times
+  include both the merge benefit and the hold cost — the paper's *aligned*
+  scheme (Tables 3/4).
+* ``ack="insert"`` — a volatile write-back cache (the 16 MB cache of
+  S3slc): requests complete on insertion while the buffer drains in the
+  background; sustained random writes become drain-limited, which is why
+  such a cache "is ineffective in masking the write amplifications"
+  (Table 2, S3slc).
+
+Flushes honour FTL allocation backpressure: they queue in a drain list and
+retry when cleaning frees space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.device.interface import IORequest
+from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ftl.base import BaseFTL
+
+__all__ = ["PassthroughBuffer", "AligningWriteBuffer", "QueueMergingBuffer"]
+
+
+class PassthroughBuffer:
+    """No buffering: every write goes straight to the FTL.
+
+    Admission control happens at the SSD dispatcher (``admits``), so the
+    FTL never sees a write it cannot allocate for.
+    """
+
+    def __init__(self, sim: Simulator, ftl: "BaseFTL") -> None:
+        self.sim = sim
+        self.ftl = ftl
+
+    def admits(self, offset: int, size: int) -> bool:
+        return self.ftl.can_accept_write(offset, size)
+
+    def insert(self, request: IORequest, complete: Callable[[IORequest], None]) -> None:
+        temp = "hot"
+        if request.hints and request.hints.get("temp") == "cold":
+            temp = "cold"
+        self.ftl.write(
+            request.offset,
+            request.size,
+            done=lambda now: complete(request),
+            temp=temp,
+        )
+
+    def before_read(self, offset: int, size: int, proceed: Callable[[], None]) -> None:
+        proceed()
+
+    def flush_all(self, done: Callable[[], None]) -> None:
+        self.sim.schedule(0.0, done)
+
+    def on_space_freed(self) -> None:
+        pass
+
+    @property
+    def buffered_bytes(self) -> int:
+        return 0
+
+
+class QueueMergingBuffer(PassthroughBuffer):
+    """Merge a dispatched write with co-queued writes on the same stripes.
+
+    This is the paper's §3.4 aligned scheme as a *queue* optimization: when
+    a write reaches the head of the device queue, every still-queued write
+    that lands in the same logical pages is pulled along and the union is
+    issued as merged runs — one RMW (or a full-stripe write) serves the
+    whole batch.  There is no hold timer, so a workload with nothing to
+    merge (sequentiality 0) behaves exactly like the passthrough baseline,
+    matching Table 3's p=0 row.
+    """
+
+    def __init__(self, sim: Simulator, ftl: "BaseFTL", ssd,
+                 logical_page_bytes: int) -> None:
+        super().__init__(sim, ftl)
+        self.ssd = ssd
+        self.page_bytes = logical_page_bytes
+        self.merged_requests = 0
+        self.batches = 0
+
+    #: bound on how many co-queued requests one batch may absorb
+    MAX_BATCH = 64
+
+    def insert(self, request: IORequest, complete: Callable[[IORequest], None]) -> None:
+        lp = self.page_bytes
+        lo = (request.offset // lp) * lp
+        hi = -(-request.end // lp) * lp
+        group = [request]
+        # chase the window: a stolen write may extend past the current
+        # stripe, pulling the next stripe's co-queued writes in too
+        while len(group) < self.MAX_BATCH:
+            stolen = self.ssd.steal_queued_writes(lo, hi)
+            if not stolen:
+                break
+            group.extend(stolen)
+            hi = max(hi, -(-max(r.end for r in stolen) // lp) * lp)
+        self.batches += 1
+        self.merged_requests += len(group) - 1
+
+        # union coverage as sorted disjoint runs
+        ranges = sorted((r.offset, r.end) for r in group)
+        runs: List[List[int]] = []
+        for start, end in ranges:
+            if runs and start <= runs[-1][1]:
+                runs[-1][1] = max(runs[-1][1], end)
+            else:
+                runs.append([start, end])
+
+        remaining = [len(runs)]
+
+        def run_done(now: float) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                for member in group:
+                    complete(member)
+
+        for start, end in runs:
+            self.ftl.write(start, end - start, done=run_done)
+
+
+class _Run:
+    """One buffered contiguous byte run inside a logical page."""
+
+    __slots__ = ("start", "end", "requests")
+
+    def __init__(self, start: int, end: int) -> None:
+        self.start = start
+        self.end = end
+        self.requests: List[IORequest] = []
+
+
+class AligningWriteBuffer:
+    """Merge and stripe-align buffered writes (see module docstring).
+
+    The buffer tracks byte runs per logical page.  A page whose runs cover
+    it completely flushes immediately as one full-page write (no RMW in the
+    FTL).  Pages still partial after ``window_us`` flush as-is.  When
+    ``capacity_bytes`` is exceeded the oldest page flushes early.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ftl: "BaseFTL",
+        logical_page_bytes: int,
+        window_us: float = 1000.0,
+        capacity_bytes: int = 1 << 20,
+        ack: str = "flush",
+    ) -> None:
+        if ack not in ("flush", "insert"):
+            raise ValueError(f"ack must be 'flush' or 'insert', got {ack!r}")
+        if logical_page_bytes <= 0:
+            raise ValueError("logical_page_bytes must be positive")
+        self.sim = sim
+        self.ftl = ftl
+        self.page_bytes = logical_page_bytes
+        self.window_us = window_us
+        self.capacity_bytes = capacity_bytes
+        self.ack = ack
+        #: page index -> sorted disjoint runs
+        self._pages: Dict[int, List[_Run]] = {}
+        self._timers: Dict[int, Event] = {}
+        self._insert_order: List[int] = []
+        #: pages flushed but awaiting FTL admission
+        self._drain_queue: List[Tuple[int, _Run]] = []
+        #: id(request) -> [request, pages-not-yet-flushed]
+        self._pending: Dict[int, list] = {}
+        self.buffered_bytes = 0
+        self.flushes = 0
+        self.full_page_flushes = 0
+        self._complete: Optional[Callable[[IORequest], None]] = None
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def admits(self, offset: int, size: int) -> bool:
+        return True  # memory-bounded by capacity flushes, not admission
+
+    def insert(self, request: IORequest, complete: Callable[[IORequest], None]) -> None:
+        """Absorb one write request (its byte range may span pages)."""
+        self._complete = complete
+        offset, end = request.offset, request.end
+        first = offset // self.page_bytes
+        last = (end - 1) // self.page_bytes
+        if self.ack == "insert":
+            self.sim.schedule(0.0, complete, request)
+        else:
+            self._pending[id(request)] = [request, last - first + 1]
+        for page in range(first, last + 1):
+            base = page * self.page_bytes
+            lo = max(offset, base) - base
+            hi = min(end, base + self.page_bytes) - base
+            self._add_run(page, lo, hi, request)
+        for page in range(first, last + 1):
+            if page in self._pages and self._covered(page) == self.page_bytes:
+                self._flush_page(page, full=True)
+        self._enforce_capacity()
+
+    def _add_run(self, page: int, lo: int, hi: int, request: IORequest) -> None:
+        runs = self._pages.get(page)
+        if runs is None:
+            runs = []
+            self._pages[page] = runs
+            self._insert_order.append(page)
+        else:
+            # idle-based window: every touch restarts the clock, so an
+            # in-progress sequential run is not flushed half-merged
+            timer = self._timers.pop(page, None)
+            if timer is not None:
+                self.sim.cancel(timer)
+        self._timers[page] = self.sim.schedule(
+            self.window_us, self._window_expired, page
+        )
+        added = hi - lo
+        merged = _Run(lo, hi)
+        merged.requests.append(request)
+        keep: List[_Run] = []
+        for run in runs:
+            if run.end < merged.start or run.start > merged.end:
+                keep.append(run)
+            else:
+                added -= max(0, min(run.end, hi) - max(run.start, lo))
+                merged.start = min(merged.start, run.start)
+                merged.end = max(merged.end, run.end)
+                merged.requests.extend(run.requests)
+        keep.append(merged)
+        keep.sort(key=lambda r: r.start)
+        self._pages[page] = keep
+        self.buffered_bytes += max(0, added)
+
+    def _covered(self, page: int) -> int:
+        return sum(r.end - r.start for r in self._pages.get(page, ()))
+
+    # ------------------------------------------------------------------
+    # flushing
+    # ------------------------------------------------------------------
+
+    def _window_expired(self, page: int) -> None:
+        self._timers.pop(page, None)
+        if page in self._pages:
+            self._flush_page(page, full=False)
+
+    def _enforce_capacity(self) -> None:
+        while self.buffered_bytes > self.capacity_bytes and self._insert_order:
+            self._flush_page(self._insert_order[0], full=False)
+
+    def _flush_page(self, page: int, full: bool) -> None:
+        """Move the page's runs to the drain queue and try to issue them."""
+        runs = self._pages.pop(page, None)
+        if runs is None:
+            return
+        timer = self._timers.pop(page, None)
+        if timer is not None:
+            self.sim.cancel(timer)
+        self._insert_order.remove(page)
+        self.flushes += 1
+        if full:
+            self.full_page_flushes += 1
+        for run in runs:
+            self.buffered_bytes -= run.end - run.start
+            self._drain_queue.append((page, run))
+        self._drain()
+
+    def _drain(self) -> None:
+        """Issue drained runs to the FTL, respecting allocation backpressure."""
+        while self._drain_queue:
+            page, run = self._drain_queue[0]
+            base = page * self.page_bytes
+            if not self.ftl.can_accept_write(base + run.start, run.end - run.start):
+                self.ftl.ensure_space(base + run.start, run.end - run.start)
+                return  # retried via on_space_freed
+            self._drain_queue.pop(0)
+            self.ftl.write(
+                base + run.start,
+                run.end - run.start,
+                done=lambda now, r=run: self._run_done(r),
+            )
+
+    def _run_done(self, run: _Run) -> None:
+        if self.ack != "flush":
+            return
+        for request in run.requests:
+            entry = self._pending.get(id(request))
+            if entry is None:
+                continue
+            entry[1] -= 1
+            if entry[1] == 0:
+                del self._pending[id(request)]
+                self._complete(request)
+
+    def on_space_freed(self) -> None:
+        self._drain()
+
+    # ------------------------------------------------------------------
+
+    def before_read(self, offset: int, size: int, proceed: Callable[[], None]) -> None:
+        """Flush buffered pages overlapping a read, then let it proceed.
+
+        Ordering note: the read proceeds once the flushes are *issued*; the
+        per-element FIFOs then order the flash commands.  If a flush is held
+        back by allocation backpressure the read may observe the old
+        mapping's timing — acceptable in a timing simulator that does not
+        carry payloads.
+        """
+        first = offset // self.page_bytes
+        last = (offset + size - 1) // self.page_bytes
+        for page in range(first, last + 1):
+            if page in self._pages:
+                self._flush_page(page, full=False)
+        proceed()
+
+    def flush_all(self, done: Callable[[], None]) -> None:
+        for page in list(self._insert_order):
+            self._flush_page(page, full=False)
+        self.sim.schedule(0.0, done)

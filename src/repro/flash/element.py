@@ -1,0 +1,294 @@
+"""One flash element: serial timed command execution + physical page state.
+
+The element plays two roles:
+
+1. **Timed executor.**  Commands (:class:`repro.flash.ops.FlashOp`) are
+   enqueued FIFO and executed one at a time — a flash die can only do one
+   array operation at once.  Completion callbacks fire on the simulator
+   clock.  ``queue_wait_us()`` exposes the estimated wait, which is exactly
+   the quantity the paper's SWTF scheduler (§3.2) ranks requests by.
+
+2. **Physical page state machine.**  Every physical page is FREE → VALID →
+   INVALID → (erase) → FREE.  State transitions are *synchronous* — the FTL
+   updates them at command issue so that back-to-back commands in the queue
+   observe consistent mappings; the element enforces legality (no program of
+   a non-free page, no double-invalidate, erase resets the block).
+
+State is held in numpy arrays so multi-GB devices stay compact and warm-up
+(:mod:`repro.ftl.prefill`) can bulk-initialize.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.flash.geometry import FlashGeometry
+from repro.flash.ops import FlashOp, OpKind
+from repro.flash.timing import FlashTiming
+from repro.sim.engine import Simulator
+
+__all__ = ["PageState", "FlashElement", "FlashStateError"]
+
+
+class FlashStateError(RuntimeError):
+    """An illegal physical page state transition was attempted."""
+
+
+class PageState:
+    """Physical page states (stored as uint8 in the state arrays)."""
+
+    FREE = 0
+    VALID = 1
+    INVALID = 2
+
+
+class FlashElement:
+    """A single parallel element (package/die) of an SSD."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: FlashGeometry,
+        timing: FlashTiming,
+        element_id: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.geometry = geometry
+        self.timing = timing
+        self.element_id = element_id
+
+        blocks = geometry.blocks_per_element
+        ppb = geometry.pages_per_block
+
+        #: per-page state, PageState values
+        self.page_state = np.zeros((blocks, ppb), dtype=np.uint8)
+        #: logical page tag per physical page (-1 when free/invalid); the FTL
+        #: uses this as its reverse map during cleaning
+        self.reverse_lpn = np.full((blocks, ppb), -1, dtype=np.int64)
+        #: valid pages per block (kept in sync with page_state)
+        self.valid_count = np.zeros(blocks, dtype=np.int32)
+        #: pages written so far per block: NAND requires in-order programming
+        self.write_ptr = np.zeros(blocks, dtype=np.int32)
+        #: erase cycles endured per block
+        self.erase_count = np.zeros(blocks, dtype=np.int64)
+        #: simulated time of the last write to each block (for cost-benefit)
+        self.block_mtime = np.zeros(blocks, dtype=np.float64)
+        #: blocks retired after exceeding rated erase cycles
+        self.retired = np.zeros(blocks, dtype=bool)
+
+        # timed-executor state
+        self._queue: List[FlashOp] = []
+        self._inflight: Optional[FlashOp] = None
+        self._inflight_done_at: float = 0.0
+        self._queued_us: float = 0.0  # total duration of queued (not inflight) ops
+
+        # accounting
+        self.busy_us_by_tag: dict[str, float] = {}
+        self.ops_by_tag: dict[str, int] = {}
+        self.erases_performed = 0
+        self.pages_programmed = 0
+        self.pages_read = 0
+
+        #: optional hook invoked whenever the element becomes idle
+        self.on_idle: Optional[Callable[[], None]] = None
+        #: NAND in-order programming enforcement.  Log-structured FTLs keep
+        #: this True; the block-mapped FTL programs pages in place at
+        #: arbitrary offsets (legal on the SLC-era parts it models) and
+        #: turns it off.
+        self.strict_program_order: bool = True
+
+    # ------------------------------------------------------------------
+    # timed execution
+    # ------------------------------------------------------------------
+
+    def enqueue(self, op: FlashOp) -> None:
+        """Queue a command for serial execution on this element."""
+        op.duration_us = op.compute_duration(self.timing)
+        if self._inflight is None:
+            self._start(op)
+        else:
+            self._queue.append(op)
+            self._queued_us += op.duration_us
+
+    def _start(self, op: FlashOp) -> None:
+        self._inflight = op
+        self._inflight_done_at = self.sim.now + op.duration_us
+        self.sim.schedule(op.duration_us, self._complete, op)
+
+    def _complete(self, op: FlashOp) -> None:
+        self.busy_us_by_tag[op.tag] = self.busy_us_by_tag.get(op.tag, 0.0) + op.duration_us
+        self.ops_by_tag[op.tag] = self.ops_by_tag.get(op.tag, 0) + 1
+        self._inflight = None
+        if self._queue:
+            nxt = self._queue.pop(0)
+            self._queued_us -= nxt.duration_us
+            self._start(nxt)
+        if op.callback is not None:
+            op.callback(self.sim.now)
+        if self._inflight is None and not self._queue and self.on_idle is not None:
+            self.on_idle()
+
+    @property
+    def idle(self) -> bool:
+        return self._inflight is None and not self._queue
+
+    @property
+    def queue_depth(self) -> int:
+        depth = len(self._queue)
+        if self._inflight is not None:
+            depth += 1
+        return depth
+
+    def queue_wait_us(self) -> float:
+        """Estimated wait before a newly enqueued op would start executing.
+
+        This is the remaining time of the in-flight command plus the summed
+        durations of everything queued behind it — the quantity SWTF uses.
+        """
+        wait = self._queued_us
+        if self._inflight is not None:
+            wait += max(0.0, self._inflight_done_at - self.sim.now)
+        return wait
+
+    def busy_us(self, tag: Optional[str] = None) -> float:
+        """Total busy time, optionally restricted to one accounting tag."""
+        if tag is not None:
+            return self.busy_us_by_tag.get(tag, 0.0)
+        return sum(self.busy_us_by_tag.values())
+
+    # ------------------------------------------------------------------
+    # physical state transitions (synchronous; called by the FTL at issue)
+    # ------------------------------------------------------------------
+
+    def program_state(self, block: int, page: int, lpn: int) -> None:
+        """Mark (block, page) programmed with logical page *lpn*.
+
+        Enforces NAND in-order programming within a block.
+        """
+        if self.page_state[block, page] != PageState.FREE:
+            raise FlashStateError(
+                f"element {self.element_id}: program of non-free page "
+                f"({block}, {page}) state={self.page_state[block, page]}"
+            )
+        if self.strict_program_order and page != self.write_ptr[block]:
+            raise FlashStateError(
+                f"element {self.element_id}: out-of-order program of page {page} "
+                f"in block {block} (write_ptr={self.write_ptr[block]})"
+            )
+        self.page_state[block, page] = PageState.VALID
+        self.reverse_lpn[block, page] = lpn
+        self.valid_count[block] += 1
+        if page >= self.write_ptr[block]:
+            self.write_ptr[block] = page + 1
+        self.block_mtime[block] = self.sim.now
+        self.pages_programmed += 1
+
+    def invalidate_state(self, block: int, page: int) -> None:
+        """Mark a previously valid page invalid (its data was superseded)."""
+        if self.page_state[block, page] != PageState.VALID:
+            raise FlashStateError(
+                f"element {self.element_id}: invalidate of non-valid page "
+                f"({block}, {page}) state={self.page_state[block, page]}"
+            )
+        self.page_state[block, page] = PageState.INVALID
+        self.reverse_lpn[block, page] = -1
+        self.valid_count[block] -= 1
+
+    def erase_state(self, block: int) -> None:
+        """Reset a block to all-free and charge one erase cycle."""
+        if self.valid_count[block] != 0:
+            raise FlashStateError(
+                f"element {self.element_id}: erase of block {block} with "
+                f"{self.valid_count[block]} valid pages"
+            )
+        self.page_state[block, :] = PageState.FREE
+        self.reverse_lpn[block, :] = -1
+        self.write_ptr[block] = 0
+        self.erase_count[block] += 1
+        self.erases_performed += 1
+        if self.erase_count[block] >= self.timing.erase_cycles:
+            self.retired[block] = True
+
+    def read_state_check(self, block: int, page: int) -> None:
+        """Sanity check that a read targets a valid page."""
+        if self.page_state[block, page] != PageState.VALID:
+            raise FlashStateError(
+                f"element {self.element_id}: read of non-valid page "
+                f"({block}, {page}) state={self.page_state[block, page]}"
+            )
+
+    # ------------------------------------------------------------------
+    # convenience issue helpers (state transition + timed command)
+    # ------------------------------------------------------------------
+
+    def read_page(
+        self,
+        block: int,
+        page: int,
+        nbytes: Optional[int] = None,
+        tag: str = "host",
+        callback: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.read_state_check(block, page)
+        size = self.geometry.page_bytes if nbytes is None else nbytes
+        self.pages_read += 1
+        self.enqueue(FlashOp(OpKind.READ, nbytes=size, tag=tag, callback=callback))
+
+    def program_page(
+        self,
+        block: int,
+        page: int,
+        lpn: int,
+        nbytes: Optional[int] = None,
+        tag: str = "host",
+        callback: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.program_state(block, page, lpn)
+        size = self.geometry.page_bytes if nbytes is None else nbytes
+        self.enqueue(FlashOp(OpKind.PROGRAM, nbytes=size, tag=tag, callback=callback))
+
+    def erase_block(
+        self,
+        block: int,
+        tag: str = "clean",
+        callback: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.erase_state(block)
+        self.enqueue(FlashOp(OpKind.ERASE, tag=tag, callback=callback))
+
+    def copy_page(
+        self,
+        src_block: int,
+        src_page: int,
+        dst_block: int,
+        dst_page: int,
+        lpn: int,
+        tag: str = "clean",
+        callback: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        """Copy-back a valid page to a free page within this element."""
+        self.read_state_check(src_block, src_page)
+        self.invalidate_state(src_block, src_page)
+        self.program_state(dst_block, dst_page, lpn)
+        self.pages_read += 1
+        self.enqueue(
+            FlashOp(
+                OpKind.COPY,
+                nbytes=self.geometry.page_bytes,
+                tag=tag,
+                callback=callback,
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def free_pages_in_block(self, block: int) -> int:
+        return self.geometry.pages_per_block - int(self.write_ptr[block])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FlashElement {self.element_id} qd={self.queue_depth} "
+            f"erases={self.erases_performed}>"
+        )

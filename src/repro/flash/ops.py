@@ -1,0 +1,59 @@
+"""Flash command descriptors executed by :class:`repro.flash.element.FlashElement`.
+
+Commands are *timed* objects: the FTL mutates logical/physical state when it
+issues a command (so later commands in the queue observe consistent
+mappings), and the element purely accounts for when the command finishes.
+Each op carries a ``tag`` that attributes its time to host I/O, cleaning, or
+wear-leveling — the accounting behind Tables 5 and 6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.flash.timing import FlashTiming
+
+__all__ = ["OpKind", "FlashOp", "TAG_HOST", "TAG_CLEAN", "TAG_WEAR"]
+
+TAG_HOST = "host"
+TAG_CLEAN = "clean"
+TAG_WEAR = "wear"
+
+
+class OpKind(enum.Enum):
+    """The four primitive flash commands the simulator times."""
+
+    READ = "read"
+    PROGRAM = "program"
+    ERASE = "erase"
+    #: internal read+program within one element (copy-back), used for cleaning
+    COPY = "copy"
+
+
+@dataclass
+class FlashOp:
+    """One flash command bound for a specific element.
+
+    ``callback`` (if any) runs when the command completes, with the
+    completion time as its only argument.
+    """
+
+    kind: OpKind
+    nbytes: int = 0
+    tag: str = TAG_HOST
+    callback: Optional[Callable[[float], None]] = None
+    #: filled in by the element when the op is enqueued
+    duration_us: float = field(default=0.0, repr=False)
+
+    def compute_duration(self, timing: FlashTiming) -> float:
+        if self.kind is OpKind.READ:
+            return timing.read_us(self.nbytes)
+        if self.kind is OpKind.PROGRAM:
+            return timing.program_us(self.nbytes)
+        if self.kind is OpKind.ERASE:
+            return timing.erase_us()
+        if self.kind is OpKind.COPY:
+            return timing.copy_us(self.nbytes)
+        raise ValueError(f"unknown op kind {self.kind!r}")

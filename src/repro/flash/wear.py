@@ -1,0 +1,54 @@
+"""Wear accounting across elements (paper §3.5, contract term 5).
+
+Flash blocks endure a bounded number of erase cycles (100k SLC / 10k MLC).
+The summaries here feed the wear-leveling ablation (A5) and the contract
+checker's "media does not wear down" verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.flash.element import FlashElement
+
+__all__ = ["WearSummary", "summarize_wear"]
+
+
+@dataclass(frozen=True)
+class WearSummary:
+    """Distribution of per-block erase counts over a set of elements."""
+
+    total_erases: int
+    min_erases: int
+    max_erases: int
+    mean_erases: float
+    stdev_erases: float
+    retired_blocks: int
+    block_count: int
+
+    @property
+    def spread(self) -> int:
+        """Max-min erase-count gap; the quantity wear-leveling bounds."""
+        return self.max_erases - self.min_erases
+
+
+def summarize_wear(elements: Iterable["FlashElement"]) -> WearSummary:
+    """Aggregate erase-count statistics over *elements*."""
+    counts_list = [el.erase_count for el in elements]
+    retired = sum(int(el.retired.sum()) for el in elements)
+    if not counts_list:
+        return WearSummary(0, 0, 0, 0.0, 0.0, 0, 0)
+    counts = np.concatenate(counts_list)
+    return WearSummary(
+        total_erases=int(counts.sum()),
+        min_erases=int(counts.min()),
+        max_erases=int(counts.max()),
+        mean_erases=float(counts.mean()),
+        stdev_erases=float(counts.std()),
+        retired_blocks=retired,
+        block_count=int(counts.size),
+    )

@@ -1,0 +1,191 @@
+"""Shared FTL machinery: statistics, completion joining, the common API.
+
+An FTL translates host byte ranges into timed flash commands on a set of
+:class:`repro.flash.element.FlashElement` objects.  The contract with the
+SSD layer above:
+
+* ``read``/``write`` fan out flash commands and invoke ``done(now)`` exactly
+  once when every command has completed (immediately, via a zero-delay event,
+  when no flash work is needed — e.g. reading never-written space).
+* ``trim`` is metadata-only and synchronous.
+* Logical state (mappings, page states) is updated synchronously at command
+  *issue*; elements serialize the timed work.  This keeps every queued
+  command consistent with the mapping that existed when it was issued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.flash.element import FlashElement
+from repro.flash.ops import TAG_HOST
+from repro.sim.engine import Simulator
+
+__all__ = ["FTLStats", "BaseFTL", "DeviceFullError", "CompletionJoin"]
+
+
+class DeviceFullError(RuntimeError):
+    """No free flash page could be allocated.
+
+    Under correct backpressure (the SSD dispatcher admits writes only while
+    ``can_accept_write`` holds) this indicates a configuration with too little
+    spare area rather than a transient condition.
+    """
+
+
+@dataclass
+class FTLStats:
+    """Counters every FTL maintains; the cleaning fields feed Tables 5/6."""
+
+    host_reads: int = 0
+    host_writes: int = 0
+    host_pages_read: int = 0
+    host_pages_written: int = 0
+    #: flash pages programmed for any reason (write amplification numerator)
+    flash_pages_programmed: int = 0
+    #: flash page reads issued on behalf of host RMW merges
+    rmw_pages_read: int = 0
+    #: cleaning: valid pages copied out of victim blocks
+    clean_pages_moved: int = 0
+    #: cleaning: total simulated time of cleaning commands (copies + erases)
+    clean_time_us: float = 0.0
+    clean_erases: int = 0
+    #: wear-leveling migrations (blocks) and pages moved by them
+    wear_migrations: int = 0
+    wear_pages_moved: int = 0
+    trims: int = 0
+    trimmed_pages: int = 0
+    #: writes refused admission at least once (backpressure events)
+    write_stalls: int = 0
+
+    def snapshot(self) -> "FTLStats":
+        return FTLStats(**vars(self))
+
+    def delta(self, earlier: "FTLStats") -> "FTLStats":
+        """Field-wise difference ``self - earlier`` (for windowed measures)."""
+        out = FTLStats()
+        for name, value in vars(self).items():
+            setattr(out, name, value - getattr(earlier, name))
+        return out
+
+
+class CompletionJoin:
+    """Join N flash-command completions into one ``done(now)`` callback."""
+
+    __slots__ = ("_remaining", "_done", "_sim", "_fired")
+
+    def __init__(self, sim: Simulator, done: Optional[Callable[[float], None]]):
+        self._sim = sim
+        self._done = done
+        self._remaining = 0
+        self._fired = False
+
+    def expect(self, count: int = 1) -> None:
+        self._remaining += count
+
+    def arm(self) -> None:
+        """Call after all ``expect`` calls; fires immediately if nothing is
+        outstanding (zero-flash-op requests still complete asynchronously so
+        callers never re-enter)."""
+        if self._remaining == 0:
+            self._fire_later()
+
+    def child_done(self, now: float) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._fire(now)
+
+    def _fire_later(self) -> None:
+        self._sim.schedule(0.0, self._fire, self._sim.now)
+
+    def _fire(self, now: float) -> None:
+        if self._fired:
+            return
+        self._fired = True
+        if self._done is not None:
+            self._done(now)
+
+
+class BaseFTL:
+    """Common state and helpers for the concrete FTLs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        elements: List[FlashElement],
+        logical_capacity_bytes: int,
+    ) -> None:
+        if not elements:
+            raise ValueError("an FTL needs at least one element")
+        geom = elements[0].geometry
+        for el in elements:
+            if el.geometry != geom:
+                raise ValueError("all elements must share one geometry")
+        self.sim = sim
+        self.elements = elements
+        self.geometry = geom
+        self.logical_capacity_bytes = logical_capacity_bytes
+        self.stats = FTLStats()
+        #: consulted by priority-aware cleaning; the SSD points this at its
+        #: own count of outstanding priority requests
+        self.priority_probe: Callable[[], int] = lambda: 0
+        #: hook fired when cleaning frees space (SSD retries stalled writes)
+        self.on_space_freed: Optional[Callable[[], None]] = None
+
+    # -- interface the SSD drives ----------------------------------------
+
+    def read(
+        self,
+        offset: int,
+        size: int,
+        done: Optional[Callable[[float], None]],
+        tag: str = TAG_HOST,
+    ) -> None:
+        raise NotImplementedError
+
+    def write(
+        self,
+        offset: int,
+        size: int,
+        done: Optional[Callable[[float], None]],
+        tag: str = TAG_HOST,
+        temp: str = "hot",
+    ) -> None:
+        raise NotImplementedError
+
+    def trim(self, offset: int, size: int) -> None:
+        raise NotImplementedError
+
+    def can_accept_write(self, offset: int, size: int) -> bool:
+        """True when the write can be admitted without risking allocation
+        failure (the SSD dispatcher holds writes back otherwise)."""
+        raise NotImplementedError
+
+    def ensure_space(self, offset: int, size: int) -> None:
+        """A write for this range is blocked on allocation headroom: start
+        whatever reclamation the FTL has, regardless of watermarks.  The
+        default is a no-op (FTLs whose reclamation is already in flight —
+        inline erase-after-RMW — need nothing extra)."""
+
+    def priority_idle(self) -> None:
+        """The device's priority queue just drained; FTLs with paused
+        background work may resume it.  Default: nothing to resume."""
+
+    def elements_for_range(self, offset: int, size: int) -> List[int]:
+        """Indices of elements a request would touch (for SWTF estimates)."""
+        raise NotImplementedError
+
+    # -- shared accounting -------------------------------------------------
+
+    def _space_freed(self) -> None:
+        if self.on_space_freed is not None:
+            self.on_space_freed()
+
+    @property
+    def media_bytes_written(self) -> int:
+        return self.stats.flash_pages_programmed * self.geometry.page_bytes
+
+    def check_consistency(self) -> None:  # pragma: no cover - overridden
+        """Verify internal invariants; used heavily by the test suite."""
+        raise NotImplementedError

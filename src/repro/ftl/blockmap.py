@@ -1,0 +1,374 @@
+"""Block-mapped FTL: the low-end device model behind S2slc/S3slc and Figure 2.
+
+The mapping unit is a whole **stripe**: one erase block per element of a
+gang, page-interleaved across the gang (byte ``i`` of a stripe lives in flash
+page ``i // page_bytes``; page ``p`` lives on element ``p % S`` at local page
+``p // S``).  The paper's S2slc device behaves this way with a 1 MB stripe.
+
+Write behaviour, which produces both the catastrophic random-write bandwidth
+in Table 2 and the saw-tooth of Figure 2:
+
+* a write that only touches never-written pages of its stripe programs them
+  in place (sequential streams therefore run at near-full speed);
+* any overwrite of live data triggers a **read-modify-erase-write cycle** of
+  the *entire stripe*: surviving pages are copied into a freshly-erased
+  stripe, the new data is merged in, and the old stripe is erased in the
+  background.  A 512-byte overwrite thus moves a full stripe of data.
+
+There is no separate cleaner: reclamation is inline (the erase after each
+RMW), as on the simple devices this models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+import numpy as np
+
+from repro.flash.element import FlashElement, PageState
+from repro.flash.ops import TAG_CLEAN, TAG_HOST
+from repro.ftl.base import BaseFTL, CompletionJoin, DeviceFullError
+from repro.sim.engine import Simulator
+
+__all__ = ["BlockMappedFTL"]
+
+
+class BlockMappedFTL(BaseFTL):
+    """Stripe-granularity mapping with read-modify-erase-write (see module
+    docstring)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        elements: List[FlashElement],
+        gang_size: Optional[int] = None,
+        spare_fraction: float = 0.06,
+    ) -> None:
+        shards = len(elements) if gang_size is None else gang_size
+        if shards <= 0 or len(elements) % shards:
+            raise ValueError(
+                f"element count {len(elements)} not divisible by gang size {shards}"
+            )
+        if not 0.0 < spare_fraction < 1.0:
+            raise ValueError(f"spare_fraction must be in (0, 1), got {spare_fraction}")
+        geom = elements[0].geometry
+        self.shards = shards
+        self.n_gangs = len(elements) // shards
+        self.stripe_bytes = shards * geom.block_bytes
+        self.pages_per_stripe = shards * geom.pages_per_block
+
+        rows_per_gang = geom.blocks_per_element
+        self.user_rows_per_gang = int(rows_per_gang * (1.0 - spare_fraction))
+        if self.user_rows_per_gang <= 0:
+            raise ValueError("device too small for the requested spare fraction")
+        user_lbns = self.n_gangs * self.user_rows_per_gang
+        super().__init__(sim, elements, user_lbns * self.stripe_bytes)
+
+        # in-place page programming at arbitrary offsets (SLC-era behaviour)
+        for el in elements:
+            el.strict_program_order = False
+
+        self._maps = [
+            np.full(self.user_rows_per_gang, -1, dtype=np.int64)
+            for _ in range(self.n_gangs)
+        ]
+        self._pool: List[List[int]] = [
+            list(range(rows_per_gang)) for _ in range(self.n_gangs)
+        ]
+        self._retiring: List[Set[int]] = [set() for _ in range(self.n_gangs)]
+        #: rows a write may consume before stalling (frontier + one RMW)
+        self.reserve_rows = 2
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size <= 0 or offset + size > self.logical_capacity_bytes:
+            raise ValueError(
+                f"range [{offset}, {offset + size}) outside logical capacity "
+                f"{self.logical_capacity_bytes}"
+            )
+
+    def _gang_slot(self, lbn: int) -> tuple[int, int]:
+        return lbn % self.n_gangs, lbn // self.n_gangs
+
+    def _element(self, gang: int, page_in_stripe: int) -> tuple[FlashElement, int]:
+        """(element, local page) for a stripe-relative flash page index."""
+        j = page_in_stripe % self.shards
+        local = page_in_stripe // self.shards
+        return self.elements[gang * self.shards + j], local
+
+    def _alloc_row(self, gang: int) -> int:
+        pool = self._pool[gang]
+        if not pool:
+            raise DeviceFullError(f"gang {gang}: no erased stripes left")
+        return pool.pop()
+
+    def _retire_row(self, gang: int, row: int) -> None:
+        """Erase a fully-invalidated stripe in the background and return it
+        to the pool once every element finishes."""
+        self._retiring[gang].add(row)
+        remaining = [self.shards]
+
+        def _one_done(now: float) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self._retiring[gang].discard(row)
+                self._pool[gang].append(row)
+                self._space_freed()
+
+        timing = self.elements[gang * self.shards].timing
+        for j in range(self.shards):
+            el = self.elements[gang * self.shards + j]
+            el.erase_block(row, tag=TAG_CLEAN, callback=_one_done)
+            self.stats.clean_erases += 1
+            self.stats.clean_time_us += timing.erase_us()
+
+    # ------------------------------------------------------------------
+    # host interface
+    # ------------------------------------------------------------------
+
+    def write(
+        self,
+        offset: int,
+        size: int,
+        done: Optional[Callable[[float], None]] = None,
+        tag: str = TAG_HOST,
+        temp: str = "hot",
+    ) -> None:
+        self._check_range(offset, size)
+        join = CompletionJoin(self.sim, done)
+        sb = self.stripe_bytes
+        fp = self.geometry.page_bytes
+        end = offset + size
+
+        for lbn in range(offset // sb, (end - 1) // sb + 1):
+            base = lbn * sb
+            a = max(offset, base) - base
+            b = min(end, base + sb) - base
+            gang, slot = self._gang_slot(lbn)
+            row = int(self._maps[gang][slot])
+            p0, p1 = a // fp, (b - 1) // fp
+            self.stats.host_pages_written += p1 - p0 + 1
+
+            if row < 0:
+                row = self._alloc_row(gang)
+                self._maps[gang][slot] = row
+                self._program_covered(gang, row, slot, p0, p1, join, tag)
+            elif self._all_free(gang, row, p0, p1):
+                self._program_covered(gang, row, slot, p0, p1, join, tag)
+            else:
+                self._rmw(gang, slot, row, a, b, join, tag)
+
+        self.stats.host_writes += 1
+        join.arm()
+
+    def _all_free(self, gang: int, row: int, p0: int, p1: int) -> bool:
+        for p in range(p0, p1 + 1):
+            el, local = self._element(gang, p)
+            if el.page_state[row, local] != PageState.FREE:
+                return False
+        return True
+
+    def _program_covered(
+        self,
+        gang: int,
+        row: int,
+        slot: int,
+        p0: int,
+        p1: int,
+        join: CompletionJoin,
+        tag: str,
+    ) -> None:
+        """Program host pages in place (fresh stripe or pure append)."""
+        for p in range(p0, p1 + 1):
+            el, local = self._element(gang, p)
+            join.expect()
+            el.program_page(row, local, slot, tag=tag, callback=join.child_done)
+            self.stats.flash_pages_programmed += 1
+
+    def _rmw(
+        self,
+        gang: int,
+        slot: int,
+        old_row: int,
+        a: int,
+        b: int,
+        join: CompletionJoin,
+        tag: str,
+    ) -> None:
+        """The read-modify-erase-write cycle of §3.4.
+
+        Surviving pages move by copy-back (same element, same local page);
+        partially-overwritten pages need a real read to merge with host
+        bytes; fully-overwritten pages are programmed directly.  The old
+        stripe is erased in the background afterwards.
+        """
+        fp = self.geometry.page_bytes
+        new_row = self._alloc_row(gang)
+        for p in range(self.pages_per_stripe):
+            el, local = self._element(gang, p)
+            state = el.page_state[old_row, local]
+            ca = max(a, p * fp)
+            cb = min(b, (p + 1) * fp)
+            covered = cb - ca
+            if covered <= 0:
+                if state == PageState.VALID:
+                    # surviving page: the simple controllers this FTL models
+                    # read the data out and rewrite it (both legs cross the
+                    # shared gang bus — no copy-back engine)
+                    join.expect()
+                    el.read_page(old_row, local, nbytes=fp, tag=tag,
+                                 callback=join.child_done)
+                    el.invalidate_state(old_row, local)
+                    join.expect()
+                    el.program_page(new_row, local, slot, tag=tag,
+                                    callback=join.child_done)
+                    self.stats.rmw_pages_read += 1
+                    self.stats.flash_pages_programmed += 1
+                continue
+            if state == PageState.VALID:
+                if covered < fp:
+                    # merge read before reprogramming the partial page
+                    join.expect()
+                    el.read_page(
+                        old_row, local, nbytes=fp, tag=tag,
+                        callback=join.child_done,
+                    )
+                    self.stats.rmw_pages_read += 1
+                el.invalidate_state(old_row, local)
+            join.expect()
+            el.program_page(new_row, local, slot, tag=tag, callback=join.child_done)
+            self.stats.flash_pages_programmed += 1
+        self._maps[gang][slot] = new_row
+        self._retire_row(gang, old_row)
+
+    def read(
+        self,
+        offset: int,
+        size: int,
+        done: Optional[Callable[[float], None]] = None,
+        tag: str = TAG_HOST,
+    ) -> None:
+        self._check_range(offset, size)
+        join = CompletionJoin(self.sim, done)
+        sb = self.stripe_bytes
+        fp = self.geometry.page_bytes
+        end = offset + size
+
+        for lbn in range(offset // sb, (end - 1) // sb + 1):
+            base = lbn * sb
+            a = max(offset, base) - base
+            b = min(end, base + sb) - base
+            gang, slot = self._gang_slot(lbn)
+            row = int(self._maps[gang][slot])
+            p0, p1 = a // fp, (b - 1) // fp
+            self.stats.host_pages_read += p1 - p0 + 1
+            if row < 0:
+                continue
+            for p in range(p0, p1 + 1):
+                el, local = self._element(gang, p)
+                if el.page_state[row, local] != PageState.VALID:
+                    continue
+                ca = max(a, p * fp)
+                cb = min(b, (p + 1) * fp)
+                join.expect()
+                el.read_page(
+                    row, local, nbytes=cb - ca, tag=tag, callback=join.child_done
+                )
+        self.stats.host_reads += 1
+        join.arm()
+
+    def trim(self, offset: int, size: int) -> None:
+        """FREE notification: wholly-covered stripes are unmapped and erased;
+        wholly-covered pages of partly-covered stripes are invalidated so a
+        later RMW stops copying them."""
+        self._check_range(offset, size)
+        sb = self.stripe_bytes
+        fp = self.geometry.page_bytes
+        end = offset + size
+        self.stats.trims += 1
+
+        for lbn in range(offset // sb, (end - 1) // sb + 1):
+            base = lbn * sb
+            a = max(offset, base) - base
+            b = min(end, base + sb) - base
+            gang, slot = self._gang_slot(lbn)
+            row = int(self._maps[gang][slot])
+            if row < 0:
+                continue
+            if a == 0 and b == sb:
+                for p in range(self.pages_per_stripe):
+                    el, local = self._element(gang, p)
+                    if el.page_state[row, local] == PageState.VALID:
+                        el.invalidate_state(row, local)
+                        self.stats.trimmed_pages += 1
+                self._maps[gang][slot] = -1
+                self._retire_row(gang, row)
+            else:
+                first = -(-a // fp)
+                last_excl = b // fp
+                for p in range(first, last_excl):
+                    el, local = self._element(gang, p)
+                    if el.page_state[row, local] == PageState.VALID:
+                        el.invalidate_state(row, local)
+                        self.stats.trimmed_pages += 1
+
+    # ------------------------------------------------------------------
+
+    def can_accept_write(self, offset: int, size: int) -> bool:
+        sb = self.stripe_bytes
+        end = offset + size
+        needed: dict[int, int] = {}
+        for lbn in range(offset // sb, (end - 1) // sb + 1):
+            gang = lbn % self.n_gangs
+            needed[gang] = needed.get(gang, 0) + 1
+        return all(
+            len(self._pool[gang]) - count >= self.reserve_rows
+            for gang, count in needed.items()
+        )
+
+    def elements_for_range(self, offset: int, size: int) -> List[int]:
+        sb = self.stripe_bytes
+        end = offset + size
+        out: Set[int] = set()
+        for lbn in range(offset // sb, (end - 1) // sb + 1):
+            gang = lbn % self.n_gangs
+            out.update(range(gang * self.shards, (gang + 1) * self.shards))
+        return sorted(out)
+
+    def mapped_row(self, lbn: int) -> int:
+        """Physical stripe row of *lbn* (-1 if unmapped); test hook."""
+        gang, slot = self._gang_slot(lbn)
+        return int(self._maps[gang][slot])
+
+    def free_rows(self, gang: int) -> int:
+        return len(self._pool[gang])
+
+    # ------------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Every row is mapped, pooled, retiring, or fully free; counts agree."""
+        for gang in range(self.n_gangs):
+            mapped = set(int(r) for r in self._maps[gang] if r >= 0)
+            pool = set(self._pool[gang])
+            retiring = set(self._retiring[gang])
+            assert not mapped & pool, f"gang {gang}: mapped rows in pool"
+            assert not mapped & retiring, f"gang {gang}: mapped rows retiring"
+            assert not pool & retiring, f"gang {gang}: pooled rows retiring"
+            for j in range(self.shards):
+                el = self.elements[gang * self.shards + j]
+                recount = (el.page_state == PageState.VALID).sum(axis=1)
+                assert (recount == el.valid_count).all(), (
+                    f"element {gang * self.shards + j}: valid_count out of sync"
+                )
+                live = set(np.nonzero(el.valid_count > 0)[0].tolist())
+                assert live <= mapped, (
+                    f"element {gang * self.shards + j}: valid pages outside "
+                    f"mapped rows: {sorted(live - mapped)[:5]}"
+                )
+                for row in pool:
+                    assert el.write_ptr[row] == 0, (
+                        f"gang {gang}: pooled row {row} not erased"
+                    )

@@ -1,0 +1,260 @@
+"""Cleaning (garbage collection) for the page-mapped FTL.
+
+The paper's two cleaning contributions live here:
+
+* **Informed cleaning** (§3.5, Table 5) is not a policy knob in this class —
+  it falls out of TRIM processing: when the FTL is allowed to process FREE
+  notifications it invalidates the freed pages, so the cleaner never copies
+  them.  The *default* SSD ignores FREEs and dutifully drags dead file-system
+  data from block to block forever.
+* **Priority-aware cleaning** (§3.6, Figure 3, Table 6) uses two watermarks:
+  cleaning normally starts when an element's free-page fraction drops below
+  the *low* watermark (5% in the paper), but while priority (foreground)
+  requests are outstanding it is postponed until the *critical* watermark
+  (2%).  The priority probe is wired to the SSD's live count of outstanding
+  priority requests.
+
+Victim selection supports the two classic policies:
+
+* ``greedy`` — pick the full block with the fewest valid pages.
+* ``cost_benefit`` — maximize ``(1 - u) / (1 + u) * age`` (LFS-style), which
+  trades reclaim efficiency against data temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.flash.element import PageState
+from repro.flash.ops import TAG_CLEAN
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ftl.pagemap import PageMappedFTL
+
+__all__ = ["CleaningConfig", "Cleaner"]
+
+GREEDY = "greedy"
+COST_BENEFIT = "cost_benefit"
+
+
+@dataclass(frozen=True)
+class CleaningConfig:
+    """Cleaning policy parameters (paper values: low 5%, critical 2%)."""
+
+    low_watermark: float = 0.05
+    critical_watermark: float = 0.02
+    policy: str = GREEDY
+    #: postpone cleaning while priority requests are outstanding (§3.6)
+    priority_aware: bool = False
+    #: copies issued per element-FIFO round; host requests interleave
+    #: between rounds instead of waiting out a whole block's worth
+    batch_pages: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.critical_watermark <= self.low_watermark < 1.0:
+            raise ValueError(
+                "need 0 < critical_watermark <= low_watermark < 1, got "
+                f"critical={self.critical_watermark} low={self.low_watermark}"
+            )
+        if self.policy not in (GREEDY, COST_BENEFIT):
+            raise ValueError(f"unknown cleaning policy {self.policy!r}")
+        if self.batch_pages < 1:
+            raise ValueError("batch_pages must be >= 1")
+
+
+class Cleaner:
+    """Per-element cleaning state machine over a :class:`PageMappedFTL`.
+
+    One block is cleaned at a time per element; between blocks the watermark
+    (and the priority gate) is re-evaluated, so cleaning yields promptly to
+    foreground traffic when configured to.
+    """
+
+    def __init__(self, ftl: "PageMappedFTL", config: CleaningConfig) -> None:
+        self.ftl = ftl
+        self.config = config
+        n = len(ftl.elements)
+        pages_per_element = ftl.geometry.pages_per_element
+        ppb = ftl.geometry.pages_per_block
+        # floors guarantee cleaning engages before admission control blocks
+        # (reserve) and has headroom for a full block of copies; on
+        # realistically-sized elements the configured fractions dominate
+        reserve = getattr(ftl, "reserve_pages", ppb + 4)
+        self._low_pages = max(
+            int(config.low_watermark * pages_per_element), reserve + ppb
+        )
+        self._critical_pages = max(
+            int(config.critical_watermark * pages_per_element), reserve + 4
+        )
+        self._active = [False] * n
+        #: paused mid-block continuations: e_idx -> (victim, pages, start)
+        self._paused: dict[int, tuple] = {}
+        #: blocks mid-clean (copied out, erase not yet complete), per element
+        self.being_cleaned: list[set[int]] = [set() for _ in range(n)]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def low_watermark_pages(self) -> int:
+        return self._low_pages
+
+    @property
+    def critical_watermark_pages(self) -> int:
+        return self._critical_pages
+
+    def threshold_pages(self) -> int:
+        """Current trigger threshold, honouring the priority gate."""
+        if self.config.priority_aware and self.ftl.priority_probe() > 0:
+            return self._critical_pages
+        return self._low_pages
+
+    def maybe_clean(self, e_idx: int, force: bool = False) -> None:
+        """Start cleaning element *e_idx* if it is below the active watermark.
+
+        ``force`` bypasses the watermark (and the priority gate): it is used
+        when a write is blocked on allocation headroom — the state both
+        thresholds exist to avoid — so cleaning must proceed regardless.
+        """
+        if self._active[e_idx]:
+            self._maybe_resume(e_idx, force)
+            return
+        if not force and self.ftl.free_pages(e_idx) >= self.threshold_pages():
+            return
+        victim = self.select_victim(e_idx)
+        if victim < 0:
+            return  # nothing reclaimable
+        self._active[e_idx] = True
+        self._clean_block(e_idx, victim)
+
+    def _should_pause(self, e_idx: int) -> bool:
+        """Mid-block gate (§3.6): yield to outstanding priority requests
+        unless the element is critically low on space."""
+        return (
+            self.config.priority_aware
+            and self.ftl.priority_probe() > 0
+            and self.ftl.free_pages(e_idx) >= self._critical_pages
+        )
+
+    def _maybe_resume(self, e_idx: int, force: bool = False) -> None:
+        if e_idx not in self._paused:
+            return
+        if force or not self._should_pause(e_idx):
+            victim, pages, start = self._paused.pop(e_idx)
+            self._copy_batch(e_idx, victim, pages, start)
+
+    def resume_paused(self) -> None:
+        """Priority queue drained: paused cleans pick back up."""
+        for e_idx in list(self._paused):
+            self._maybe_resume(e_idx)
+
+    def select_victim(self, e_idx: int) -> int:
+        """Pick a victim block, or -1 if no block would gain free pages."""
+        el = self.ftl.elements[e_idx]
+        ppb = self.ftl.geometry.pages_per_block
+        # any written, non-frontier block is a candidate (erasing a block
+        # with valid count v and w written pages nets ppb - v free pages)
+        candidates = el.write_ptr > 0
+        for frontier in self.ftl.frontier_blocks(e_idx):
+            candidates[frontier] = False
+        for block in self.being_cleaned[e_idx]:
+            candidates[block] = False
+        if not candidates.any():
+            return -1
+        valid = el.valid_count
+        if self.config.policy == GREEDY:
+            masked = np.where(candidates, valid, np.iinfo(np.int32).max)
+            victim = int(masked.argmin())
+            if masked[victim] >= ppb:
+                return -1  # every candidate is fully valid: no gain
+            return victim
+        # cost-benefit: maximize (1-u)/(1+u) * age over blocks with any
+        # invalid pages
+        gain = candidates & (valid < ppb)
+        if not gain.any():
+            return -1
+        u = valid / float(ppb)
+        age = np.maximum(self.ftl.sim.now - el.block_mtime, 1.0)
+        score = np.where(gain, (1.0 - u) / (1.0 + u) * age, -1.0)
+        return int(score.argmax())
+
+    # ------------------------------------------------------------------
+
+    def _clean_block(self, e_idx: int, victim: int) -> None:
+        """Copy out the victim's valid pages in batches, then erase it.
+
+        Commands run through the element's FIFO; batches are chained via the
+        completion of their last copy, so host requests interleave between
+        batches (they still observe cleaning latency — the effect Figure 3
+        measures — but bounded by the batch, not the whole block).
+        """
+        ftl = self.ftl
+        el = ftl.elements[e_idx]
+        self.being_cleaned[e_idx].add(victim)
+        pages = [int(p) for p in np.nonzero(el.page_state[victim] == 1)[0]]
+        self._copy_batch(e_idx, victim, pages, 0)
+
+    def _copy_batch(self, e_idx: int, victim: int, pages: list, start: int) -> None:
+        """Issue up to ``batch_pages`` copies; chain the rest via the last
+        copy's completion.  Pages the host invalidated in the meantime
+        (overwrites or trims racing the clean) are skipped — their data is
+        already dead."""
+        ftl = self.ftl
+        el = ftl.elements[e_idx]
+        geom = ftl.geometry
+        timing = el.timing
+        index = start
+        while index < len(pages):
+            end = min(index + self.config.batch_pages, len(pages))
+            batch = [
+                p for p in pages[index:end]
+                if el.page_state[victim, p] == PageState.VALID
+            ]
+            index = end
+            if not batch:
+                continue
+            more = index < len(pages)
+            for position, page in enumerate(batch):
+                slot = int(el.reverse_lpn[victim, page])
+                dst_block, dst_page = ftl.allocate_page(
+                    e_idx, temp="hot", for_cleaning=True
+                )
+                callback = None
+                if more and position == len(batch) - 1:
+                    callback = (
+                        lambda now, e=e_idx, v=victim, p=pages, s=index:
+                        self._batch_done(e, v, p, s)
+                    )
+                el.copy_page(victim, page, dst_block, dst_page, slot,
+                             tag=TAG_CLEAN, callback=callback)
+                ftl.map_for(e_idx)[slot] = geom.page_index(dst_block, dst_page)
+                ftl.stats.clean_pages_moved += 1
+                ftl.stats.clean_time_us += timing.copy_us(geom.page_bytes)
+                ftl.stats.flash_pages_programmed += 1
+            if more:
+                return
+        ftl.stats.clean_time_us += timing.erase_us()
+        el.erase_block(
+            victim, tag=TAG_CLEAN,
+            callback=lambda now, e=e_idx, b=victim: self._erase_done(e, b),
+        )
+
+    def _batch_done(self, e_idx: int, victim: int, pages: list, start: int) -> None:
+        """A copy batch finished: pause for priority traffic or continue."""
+        if self._should_pause(e_idx):
+            self._paused[e_idx] = (victim, pages, start)
+            return
+        self._copy_batch(e_idx, victim, pages, start)
+
+    def _erase_done(self, e_idx: int, block: int) -> None:
+        ftl = self.ftl
+        self.being_cleaned[e_idx].discard(block)
+        ftl.release_block(e_idx, block)
+        ftl.stats.clean_erases += 1
+        self._active[e_idx] = False
+        ftl.wear_leveler.on_erase(e_idx)
+        ftl._space_freed()
+        # keep going if still below the (re-evaluated) watermark
+        self.maybe_clean(e_idx)

@@ -1,0 +1,468 @@
+"""FAST-style hybrid log-block FTL — the classic mid-range baseline.
+
+Most of the address space is block-mapped (stripe rows, as in
+:class:`repro.ftl.blockmap.BlockMappedFTL`), but partial overwrites are
+absorbed by a small set of page-mapped **log stripes** instead of triggering
+an immediate read-modify-erase-write.  When the log fills, the oldest log
+stripe is *merged*: every logical stripe with pages in it is rebuilt into a
+fresh row from the newest copies (log entries + surviving data pages), the
+stale rows are erased, and the log stripe is reclaimed.
+
+This gives random writes a grace period at the cost of expensive, bursty
+merges — the behaviour that separates mid-range devices from both the
+low-end (S2/S3) and the high-end page-mapped parts in Table 2.
+
+Limitations (documented, acceptable for a baseline): a merge transiently
+allocates one fresh row per logical stripe present in the victim log stripe,
+so the spare pool must be provisioned for the workload's locality;
+pathological footprints raise :class:`repro.ftl.base.DeviceFullError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.flash.element import FlashElement, PageState
+from repro.flash.ops import TAG_CLEAN, TAG_HOST
+from repro.ftl.base import BaseFTL, CompletionJoin, DeviceFullError
+from repro.sim.engine import Simulator
+
+__all__ = ["HybridLogBlockFTL"]
+
+
+class HybridLogBlockFTL(BaseFTL):
+    """Block-mapped base plus page-mapped log stripes (see module docstring)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        elements: List[FlashElement],
+        gang_size: Optional[int] = None,
+        spare_fraction: float = 0.10,
+        max_log_rows: int = 4,
+    ) -> None:
+        shards = len(elements) if gang_size is None else gang_size
+        if shards <= 0 or len(elements) % shards:
+            raise ValueError(
+                f"element count {len(elements)} not divisible by gang size {shards}"
+            )
+        if max_log_rows < 1:
+            raise ValueError("need at least one log row")
+        geom = elements[0].geometry
+        self.shards = shards
+        self.n_gangs = len(elements) // shards
+        self.stripe_bytes = shards * geom.block_bytes
+        self.pages_per_stripe = shards * geom.pages_per_block
+        self.max_log_rows = max_log_rows
+
+        rows_per_gang = geom.blocks_per_element
+        usable = int(rows_per_gang * (1.0 - spare_fraction)) - max_log_rows
+        if usable <= 0:
+            raise ValueError("device too small for spare fraction + log rows")
+        self.user_rows_per_gang = usable
+        user_lbns = self.n_gangs * self.user_rows_per_gang
+        super().__init__(sim, elements, user_lbns * self.stripe_bytes)
+
+        for el in elements:
+            el.strict_program_order = False
+
+        self._maps = [
+            np.full(self.user_rows_per_gang, -1, dtype=np.int64)
+            for _ in range(self.n_gangs)
+        ]
+        self._pool: List[List[int]] = [
+            list(range(rows_per_gang)) for _ in range(self.n_gangs)
+        ]
+        self._retiring: List[Set[int]] = [set() for _ in range(self.n_gangs)]
+        # log state per gang
+        self._log_rows: List[List[int]] = [[] for _ in range(self.n_gangs)]
+        self._log_fill: List[int] = [self.pages_per_stripe] * self.n_gangs
+        #: (slot, stripe_page) -> (log_row, log_pos); the page-level map
+        self._log_index: List[Dict[Tuple[int, int], Tuple[int, int]]] = [
+            {} for _ in range(self.n_gangs)
+        ]
+        #: entries ever written per log row (may include stale ones)
+        self._log_contents: List[Dict[int, List[Tuple[int, int, int]]]] = [
+            {} for _ in range(self.n_gangs)
+        ]
+        self.reserve_rows = 8
+        self.merges_performed = 0
+
+    # ------------------------------------------------------------------
+    # shared helpers (mirroring blockmap)
+    # ------------------------------------------------------------------
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size <= 0 or offset + size > self.logical_capacity_bytes:
+            raise ValueError(
+                f"range [{offset}, {offset + size}) outside logical capacity "
+                f"{self.logical_capacity_bytes}"
+            )
+
+    def _gang_slot(self, lbn: int) -> tuple[int, int]:
+        return lbn % self.n_gangs, lbn // self.n_gangs
+
+    def _element(self, gang: int, page_in_stripe: int) -> tuple[FlashElement, int]:
+        j = page_in_stripe % self.shards
+        return self.elements[gang * self.shards + j], page_in_stripe // self.shards
+
+    def _alloc_row(self, gang: int) -> int:
+        pool = self._pool[gang]
+        if not pool:
+            raise DeviceFullError(
+                f"gang {gang}: no erased stripes left (log merge pressure; "
+                "increase spare_fraction or reduce workload footprint)"
+            )
+        return pool.pop()
+
+    def _retire_row(self, gang: int, row: int) -> None:
+        self._retiring[gang].add(row)
+        remaining = [self.shards]
+
+        def _one_done(now: float) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self._retiring[gang].discard(row)
+                self._pool[gang].append(row)
+                self._space_freed()
+
+        timing = self.elements[gang * self.shards].timing
+        for j in range(self.shards):
+            el = self.elements[gang * self.shards + j]
+            el.erase_block(row, tag=TAG_CLEAN, callback=_one_done)
+            self.stats.clean_erases += 1
+            self.stats.clean_time_us += timing.erase_us()
+
+    # ------------------------------------------------------------------
+    # log machinery
+    # ------------------------------------------------------------------
+
+    def _log_append_pos(self, gang: int) -> Tuple[int, int]:
+        """Next (log_row, position), opening/merging log rows as needed."""
+        if self._log_fill[gang] >= self.pages_per_stripe:
+            if len(self._log_rows[gang]) >= self.max_log_rows:
+                self._merge_oldest(gang)
+            row = self._alloc_row(gang)
+            self._log_rows[gang].append(row)
+            self._log_contents[gang][row] = []
+            self._log_fill[gang] = 0
+        row = self._log_rows[gang][-1]
+        pos = self._log_fill[gang]
+        self._log_fill[gang] += 1
+        return row, pos
+
+    def _current_location(
+        self, gang: int, slot: int, p: int
+    ) -> Optional[Tuple[int, int]]:
+        """Newest copy of stripe page *p* of *slot* as (block_row, local) on
+        its (possibly non-home) element, or None if the page holds no data.
+        Returns the element explicitly via the second helper below."""
+        entry = self._log_index[gang].get((slot, p))
+        if entry is not None:
+            lrow, lpos = entry
+            return lrow, lpos
+        return None
+
+    def _invalidate_current(self, gang: int, slot: int, p: int) -> None:
+        """Invalidate whatever copy (log or data row) currently holds page
+        *p* of *slot*, if any."""
+        entry = self._log_index[gang].pop((slot, p), None)
+        if entry is not None:
+            lrow, lpos = entry
+            el, local = self._element(gang, lpos)
+            el.invalidate_state(lrow, local)
+            return
+        row = int(self._maps[gang][slot])
+        if row >= 0:
+            el, local = self._element(gang, p)
+            if el.page_state[row, local] == PageState.VALID:
+                el.invalidate_state(row, local)
+
+    def _merge_oldest(self, gang: int) -> None:
+        """Full merge of the oldest log stripe (cost model of FAST).
+
+        All merge commands are tagged ``clean`` and run through the element
+        FIFOs, so host requests queued behind a merge observe its latency.
+        """
+        victim = self._log_rows[gang].pop(0)
+        entries = self._log_contents[gang].pop(victim)
+        index = self._log_index[gang]
+        live_slots: List[int] = []
+        seen: Set[int] = set()
+        for slot, p, pos in entries:
+            if index.get((slot, p)) == (victim, pos) and slot not in seen:
+                seen.add(slot)
+                live_slots.append(slot)
+
+        for slot in live_slots:
+            self._merge_slot(gang, slot)
+        # every live entry of the victim has been folded into data rows
+        self._retire_row(gang, victim)
+        self.merges_performed += 1
+
+    def _merge_slot(self, gang: int, slot: int) -> None:
+        """Rebuild one logical stripe from its newest page copies."""
+        geom = self.geometry
+        timing = self.elements[gang * self.shards].timing
+        old_row = int(self._maps[gang][slot])
+        new_row = self._alloc_row(gang)
+        index = self._log_index[gang]
+
+        for p in range(self.pages_per_stripe):
+            home_el, home_local = self._element(gang, p)
+            entry = index.get((slot, p))
+            if entry is not None:
+                lrow, lpos = entry
+                src_el, src_local = self._element(gang, lpos)
+                del index[(slot, p)]
+                if src_el is home_el:
+                    src_el.copy_page(
+                        lrow, src_local, new_row, home_local, slot, tag=TAG_CLEAN
+                    )
+                    self.stats.clean_time_us += timing.copy_us(geom.page_bytes)
+                else:
+                    src_el.read_page(lrow, src_local, tag=TAG_CLEAN)
+                    src_el.invalidate_state(lrow, src_local)
+                    home_el.program_page(new_row, home_local, slot, tag=TAG_CLEAN)
+                    self.stats.clean_time_us += timing.read_us(
+                        geom.page_bytes
+                    ) + timing.program_us(geom.page_bytes)
+                self.stats.clean_pages_moved += 1
+                self.stats.flash_pages_programmed += 1
+            elif old_row >= 0 and home_el.page_state[old_row, home_local] == PageState.VALID:
+                home_el.copy_page(
+                    old_row, home_local, new_row, home_local, slot, tag=TAG_CLEAN
+                )
+                self.stats.clean_pages_moved += 1
+                self.stats.clean_time_us += timing.copy_us(geom.page_bytes)
+                self.stats.flash_pages_programmed += 1
+
+        self._maps[gang][slot] = new_row
+        if old_row >= 0:
+            self._retire_row(gang, old_row)
+
+    # ------------------------------------------------------------------
+    # host interface
+    # ------------------------------------------------------------------
+
+    def write(
+        self,
+        offset: int,
+        size: int,
+        done: Optional[Callable[[float], None]] = None,
+        tag: str = TAG_HOST,
+        temp: str = "hot",
+    ) -> None:
+        self._check_range(offset, size)
+        join = CompletionJoin(self.sim, done)
+        sb = self.stripe_bytes
+        fp = self.geometry.page_bytes
+        end = offset + size
+
+        for lbn in range(offset // sb, (end - 1) // sb + 1):
+            base = lbn * sb
+            a = max(offset, base) - base
+            b = min(end, base + sb) - base
+            gang, slot = self._gang_slot(lbn)
+            p0, p1 = a // fp, (b - 1) // fp
+            self.stats.host_pages_written += p1 - p0 + 1
+
+            if a == 0 and b == sb:
+                self._switch_write(gang, slot, join, tag)
+            else:
+                for p in range(p0, p1 + 1):
+                    ca = max(a, p * fp)
+                    cb = min(b, (p + 1) * fp)
+                    self._log_write_page(gang, slot, p, cb - ca < fp, join, tag)
+
+        self.stats.host_writes += 1
+        join.arm()
+
+    def _switch_write(self, gang: int, slot: int, join: CompletionJoin, tag: str) -> None:
+        """Full-stripe overwrite: program a fresh row, drop all old copies."""
+        old_row = int(self._maps[gang][slot])
+        new_row = self._alloc_row(gang)
+        index = self._log_index[gang]
+        for p in range(self.pages_per_stripe):
+            entry = index.pop((slot, p), None)
+            if entry is not None:
+                lrow, lpos = entry
+                el, local = self._element(gang, lpos)
+                el.invalidate_state(lrow, local)
+            if old_row >= 0:
+                el, local = self._element(gang, p)
+                if el.page_state[old_row, local] == PageState.VALID:
+                    el.invalidate_state(old_row, local)
+            el, local = self._element(gang, p)
+            join.expect()
+            el.program_page(new_row, local, slot, tag=tag, callback=join.child_done)
+            self.stats.flash_pages_programmed += 1
+        self._maps[gang][slot] = new_row
+        if old_row >= 0:
+            self._retire_row(gang, old_row)
+
+    def _log_write_page(
+        self,
+        gang: int,
+        slot: int,
+        p: int,
+        partial: bool,
+        join: CompletionJoin,
+        tag: str,
+    ) -> None:
+        """Append one page to the log, merging with its old copy if the host
+        write covers only part of the page."""
+        if partial:
+            # merge read from wherever the newest copy lives
+            entry = self._log_index[gang].get((slot, p))
+            if entry is not None:
+                lrow, lpos = entry
+                el, local = self._element(gang, lpos)
+                join.expect()
+                el.read_page(lrow, local, tag=tag, callback=join.child_done)
+                self.stats.rmw_pages_read += 1
+            else:
+                row = int(self._maps[gang][slot])
+                if row >= 0:
+                    el, local = self._element(gang, p)
+                    if el.page_state[row, local] == PageState.VALID:
+                        join.expect()
+                        el.read_page(row, local, tag=tag, callback=join.child_done)
+                        self.stats.rmw_pages_read += 1
+        self._invalidate_current(gang, slot, p)
+        lrow, lpos = self._log_append_pos(gang)
+        el, local = self._element(gang, lpos)
+        join.expect()
+        el.program_page(lrow, local, slot, tag=tag, callback=join.child_done)
+        self._log_index[gang][(slot, p)] = (lrow, lpos)
+        self._log_contents[gang][lrow].append((slot, p, lpos))
+        self.stats.flash_pages_programmed += 1
+
+    def read(
+        self,
+        offset: int,
+        size: int,
+        done: Optional[Callable[[float], None]] = None,
+        tag: str = TAG_HOST,
+    ) -> None:
+        self._check_range(offset, size)
+        join = CompletionJoin(self.sim, done)
+        sb = self.stripe_bytes
+        fp = self.geometry.page_bytes
+        end = offset + size
+
+        for lbn in range(offset // sb, (end - 1) // sb + 1):
+            base = lbn * sb
+            a = max(offset, base) - base
+            b = min(end, base + sb) - base
+            gang, slot = self._gang_slot(lbn)
+            row = int(self._maps[gang][slot])
+            for p in range(a // fp, (b - 1) // fp + 1):
+                ca = max(a, p * fp)
+                cb = min(b, (p + 1) * fp)
+                self.stats.host_pages_read += 1
+                entry = self._log_index[gang].get((slot, p))
+                if entry is not None:
+                    lrow, lpos = entry
+                    el, local = self._element(gang, lpos)
+                    join.expect()
+                    el.read_page(
+                        lrow, local, nbytes=cb - ca, tag=tag, callback=join.child_done
+                    )
+                    continue
+                if row < 0:
+                    continue
+                el, local = self._element(gang, p)
+                if el.page_state[row, local] != PageState.VALID:
+                    continue
+                join.expect()
+                el.read_page(
+                    row, local, nbytes=cb - ca, tag=tag, callback=join.child_done
+                )
+        self.stats.host_reads += 1
+        join.arm()
+
+    def trim(self, offset: int, size: int) -> None:
+        """FREE notification at stripe granularity (plus page-granularity
+        invalidation inside partly-covered stripes)."""
+        self._check_range(offset, size)
+        sb = self.stripe_bytes
+        fp = self.geometry.page_bytes
+        end = offset + size
+        self.stats.trims += 1
+
+        for lbn in range(offset // sb, (end - 1) // sb + 1):
+            base = lbn * sb
+            a = max(offset, base) - base
+            b = min(end, base + sb) - base
+            gang, slot = self._gang_slot(lbn)
+            if a == 0 and b == sb:
+                pages = range(self.pages_per_stripe)
+            else:
+                pages = range(-(-a // fp), b // fp)
+            count = 0
+            for p in pages:
+                before = self._log_index[gang].get((slot, p)) is not None
+                row = int(self._maps[gang][slot])
+                had_data = before or (
+                    row >= 0
+                    and self._element(gang, p)[0].page_state[
+                        row, self._element(gang, p)[1]
+                    ]
+                    == PageState.VALID
+                )
+                if had_data:
+                    self._invalidate_current(gang, slot, p)
+                    count += 1
+            self.stats.trimmed_pages += count
+            if a == 0 and b == sb:
+                row = int(self._maps[gang][slot])
+                if row >= 0:
+                    self._maps[gang][slot] = -1
+                    self._retire_row(gang, row)
+
+    # ------------------------------------------------------------------
+
+    def can_accept_write(self, offset: int, size: int) -> bool:
+        sb = self.stripe_bytes
+        end = offset + size
+        needed: dict[int, int] = {}
+        for lbn in range(offset // sb, (end - 1) // sb + 1):
+            gang = lbn % self.n_gangs
+            needed[gang] = needed.get(gang, 0) + 1
+        return all(
+            len(self._pool[gang]) - count >= self.reserve_rows
+            for gang, count in needed.items()
+        )
+
+    def elements_for_range(self, offset: int, size: int) -> List[int]:
+        sb = self.stripe_bytes
+        end = offset + size
+        out: Set[int] = set()
+        for lbn in range(offset // sb, (end - 1) // sb + 1):
+            gang = lbn % self.n_gangs
+            out.update(range(gang * self.shards, (gang + 1) * self.shards))
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Log index entries point at VALID pages; valid counts agree."""
+        for gang in range(self.n_gangs):
+            for (slot, p), (lrow, lpos) in self._log_index[gang].items():
+                el, local = self._element(gang, lpos)
+                assert el.page_state[lrow, local] == PageState.VALID, (
+                    f"gang {gang}: log entry ({slot},{p}) -> ({lrow},{lpos}) "
+                    "not VALID"
+                )
+                assert lrow in self._log_rows[gang], (
+                    f"gang {gang}: log entry points at non-log row {lrow}"
+                )
+            for j in range(self.shards):
+                el = self.elements[gang * self.shards + j]
+                recount = (el.page_state == PageState.VALID).sum(axis=1)
+                assert (recount == el.valid_count).all(), (
+                    f"element {gang * self.shards + j}: valid_count out of sync"
+                )

@@ -1,0 +1,411 @@
+"""Log-structured, page-mapped FTL with striped logical pages.
+
+This is the FTL of the paper's simulated SSD (after Agrawal et al. 2008):
+
+* The mapping unit is a **logical page** of configurable size.  With
+  ``logical_page_bytes`` equal to the flash page (4 KB) this is a plain
+  page-mapped FTL.  With a larger logical page — e.g. the paper's Table 3
+  configuration, a 32 KB logical page spanning a gang of eight packages —
+  each logical page is striped one flash page ("shard") per element, and any
+  sub-logical-page write becomes a read-modify-write of the whole logical
+  page.  That amplification is the subject of §3.4.
+* Writes always go to the per-element write frontier (log-structured); the
+  superseded flash pages become invalid and are reclaimed by the cleaner
+  (:mod:`repro.ftl.cleaning`).
+* FREE (TRIM) notifications, when the device is configured to process them,
+  unmap logical pages so cleaning and wear-leveling stop preserving dead
+  data — the paper's *informed cleaning* (§3.5).
+
+Element/shard layout
+--------------------
+With ``E`` elements and ``S = logical_page_bytes / flash_page_bytes`` shards
+per logical page, elements are statically partitioned into ``E / S`` gangs.
+Logical page ``lpn`` lives in gang ``lpn % n_gangs``, shard ``j`` on element
+``gang * S + j``, at per-element map slot ``lpn // n_gangs``.  Sequential
+logical pages therefore rotate across gangs (page-level striping), matching
+the parallelism the paper's Figure 1 describes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Set
+
+import numpy as np
+
+from repro.flash.element import FlashElement, PageState
+from repro.flash.ops import TAG_HOST
+from repro.ftl.base import BaseFTL, CompletionJoin, DeviceFullError
+from repro.ftl.cleaning import Cleaner, CleaningConfig
+from repro.ftl.wearlevel import WearConfig, WearLeveler
+from repro.sim.engine import Simulator
+
+__all__ = ["PageMappedFTL"]
+
+
+class PageMappedFTL(BaseFTL):
+    """Page-mapped log-structured FTL (see module docstring)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        elements: List[FlashElement],
+        logical_page_bytes: Optional[int] = None,
+        spare_fraction: float = 0.10,
+        cleaning: Optional[CleaningConfig] = None,
+        wear: Optional[WearConfig] = None,
+    ) -> None:
+        geom = elements[0].geometry
+        flash_page = geom.page_bytes
+        lp_bytes = flash_page if logical_page_bytes is None else logical_page_bytes
+        if lp_bytes % flash_page:
+            raise ValueError(
+                f"logical page ({lp_bytes}) must be a multiple of the flash "
+                f"page ({flash_page})"
+            )
+        shards = lp_bytes // flash_page
+        if len(elements) % shards:
+            raise ValueError(
+                f"element count {len(elements)} not divisible by shard count "
+                f"{shards} (logical page {lp_bytes} over {flash_page} pages)"
+            )
+        if not 0.0 < spare_fraction < 1.0:
+            raise ValueError(f"spare_fraction must be in (0, 1), got {spare_fraction}")
+
+        self.logical_page_bytes = lp_bytes
+        self.shards = shards
+        self.n_gangs = len(elements) // shards
+
+        total_flash_pages = len(elements) * geom.pages_per_element
+        user_logical_pages = int(total_flash_pages * (1.0 - spare_fraction)) // shards
+        if user_logical_pages <= 0:
+            raise ValueError("device too small for the requested spare fraction")
+        self.user_logical_pages = user_logical_pages
+        super().__init__(sim, elements, user_logical_pages * lp_bytes)
+
+        slots = math.ceil(user_logical_pages / self.n_gangs)
+        self._maps = [np.full(slots, -1, dtype=np.int64) for _ in elements]
+        self._pool: List[List[int]] = [
+            list(range(geom.blocks_per_element)) for _ in elements
+        ]
+        self._frontier: List[dict] = [{} for _ in elements]
+        self._free: List[int] = [geom.pages_per_element for _ in elements]
+        self.spare_fraction = spare_fraction
+        #: admission headroom: one block of in-flight cleaning copies plus
+        #: slack, clamped to half the per-element spare area — a device
+        #: legitimately full of valid data must still accept writes.
+        spare_per_element = geom.pages_per_element - -(
+            -user_logical_pages * shards // len(elements)
+        )
+        self.reserve_pages = min(
+            geom.pages_per_block + 4, max(2, spare_per_element // 2)
+        )
+
+        self.wear_config = wear if wear is not None else WearConfig()
+        self.cleaner = Cleaner(self, cleaning if cleaning is not None else CleaningConfig())
+        self.wear_leveler = WearLeveler(self, self.wear_config)
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size <= 0 or offset + size > self.logical_capacity_bytes:
+            raise ValueError(
+                f"range [{offset}, {offset + size}) outside logical capacity "
+                f"{self.logical_capacity_bytes}"
+            )
+
+    def _gang_slot(self, lpn: int) -> tuple[int, int]:
+        return lpn % self.n_gangs, lpn // self.n_gangs
+
+    def map_for(self, e_idx: int) -> np.ndarray:
+        return self._maps[e_idx]
+
+    def free_pages(self, e_idx: int) -> int:
+        return self._free[e_idx]
+
+    def frontier_blocks(self, e_idx: int) -> List[int]:
+        return list(self._frontier[e_idx].values())
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def _pull_block(self, e_idx: int, temp: str) -> int:
+        pool = self._pool[e_idx]
+        if not pool:
+            raise DeviceFullError(
+                f"element {e_idx}: no erased blocks left "
+                f"(free_pages={self._free[e_idx]})"
+            )
+        el = self.elements[e_idx]
+        if temp == "cold":
+            # cold data goes to the most-worn block: it will rarely be
+            # rewritten, so parking it there stops further wear
+            arr = np.fromiter(pool, count=len(pool), dtype=np.int64)
+            idx = int(el.erase_count[arr].argmax())
+        elif self.wear_config.dynamic:
+            arr = np.fromiter(pool, count=len(pool), dtype=np.int64)
+            idx = int(el.erase_count[arr].argmin())
+        else:
+            idx = len(pool) - 1
+        return pool.pop(idx)
+
+    def allocate_page(
+        self, e_idx: int, temp: str = "hot", for_cleaning: bool = False
+    ) -> tuple[int, int]:
+        """Take the next frontier page of *e_idx*; pulls a new erased block
+        when the frontier fills.  Returns (block, page)."""
+        el = self.elements[e_idx]
+        ppb = self.geometry.pages_per_block
+        frontier = self._frontier[e_idx].get(temp)
+        if frontier is None or el.write_ptr[frontier] >= ppb:
+            frontier = self._pull_block(e_idx, temp)
+            self._frontier[e_idx][temp] = frontier
+        page = int(el.write_ptr[frontier])
+        self._free[e_idx] -= 1
+        return frontier, page
+
+    def release_block(self, e_idx: int, block: int) -> None:
+        """Return an erased block to the pool (erase already completed)."""
+        self._pool[e_idx].append(block)
+        self._free[e_idx] += self.geometry.pages_per_block
+
+    def pull_worn_free_block(self, e_idx: int) -> int:
+        """Remove the most-worn erased block from the pool (for static
+        wear-leveling migration); the whole block leaves the free count."""
+        pool = self._pool[e_idx]
+        if not pool:
+            return -1
+        el = self.elements[e_idx]
+        idx = max(range(len(pool)), key=lambda i: el.erase_count[pool[i]])
+        block = pool.pop(idx)
+        self._free[e_idx] -= self.geometry.pages_per_block
+        return block
+
+    # ------------------------------------------------------------------
+    # host interface
+    # ------------------------------------------------------------------
+
+    def write(
+        self,
+        offset: int,
+        size: int,
+        done: Optional[Callable[[float], None]] = None,
+        tag: str = TAG_HOST,
+        temp: str = "hot",
+    ) -> None:
+        self._check_range(offset, size)
+        join = CompletionJoin(self.sim, done)
+        lp = self.logical_page_bytes
+        fp = self.geometry.page_bytes
+        geom = self.geometry
+        end = offset + size
+        touched: Set[int] = set()
+
+        for lpn in range(offset // lp, (end - 1) // lp + 1):
+            page_base = lpn * lp
+            a = max(offset, page_base) - page_base
+            b = min(end, page_base + lp) - page_base
+            gang, slot = self._gang_slot(lpn)
+            e_base = gang * self.shards
+            for j in range(self.shards):
+                e_idx = e_base + j
+                el = self.elements[e_idx]
+                emap = self._maps[e_idx]
+                old = int(emap[slot])
+                ca = max(a, j * fp)
+                cb = min(b, (j + 1) * fp)
+                covered = cb - ca
+                if covered > 0:
+                    self.stats.host_pages_written += 1
+                if old >= 0 and covered < fp:
+                    # merge read: the old shard contributes surviving bytes
+                    join.expect()
+                    el.read_page(
+                        geom.block_of(old),
+                        geom.page_of(old),
+                        nbytes=fp,
+                        tag=tag,
+                        callback=join.child_done,
+                    )
+                    self.stats.rmw_pages_read += 1
+                if old >= 0:
+                    el.invalidate_state(geom.block_of(old), geom.page_of(old))
+                new_block, new_page = self.allocate_page(e_idx, temp=temp)
+                join.expect()
+                el.program_page(
+                    new_block, new_page, slot, tag=tag, callback=join.child_done
+                )
+                emap[slot] = geom.page_index(new_block, new_page)
+                self.stats.flash_pages_programmed += 1
+                touched.add(e_idx)
+
+        self.stats.host_writes += 1
+        join.arm()
+        for e_idx in touched:
+            self.cleaner.maybe_clean(e_idx)
+
+    def read(
+        self,
+        offset: int,
+        size: int,
+        done: Optional[Callable[[float], None]] = None,
+        tag: str = TAG_HOST,
+    ) -> None:
+        self._check_range(offset, size)
+        join = CompletionJoin(self.sim, done)
+        lp = self.logical_page_bytes
+        fp = self.geometry.page_bytes
+        geom = self.geometry
+        end = offset + size
+
+        for lpn in range(offset // lp, (end - 1) // lp + 1):
+            page_base = lpn * lp
+            a = max(offset, page_base) - page_base
+            b = min(end, page_base + lp) - page_base
+            gang, slot = self._gang_slot(lpn)
+            e_base = gang * self.shards
+            for j in range(self.shards):
+                ca = max(a, j * fp)
+                cb = min(b, (j + 1) * fp)
+                if cb - ca <= 0:
+                    continue
+                self.stats.host_pages_read += 1
+                e_idx = e_base + j
+                ppn = int(self._maps[e_idx][slot])
+                if ppn < 0:
+                    continue  # never written: served from the controller
+                join.expect()
+                self.elements[e_idx].read_page(
+                    geom.block_of(ppn),
+                    geom.page_of(ppn),
+                    nbytes=cb - ca,
+                    tag=tag,
+                    callback=join.child_done,
+                )
+        self.stats.host_reads += 1
+        join.arm()
+
+    def trim(self, offset: int, size: int) -> None:
+        """Process a FREE notification: unmap every wholly-covered logical
+        page so its flash pages become reclaimable without copying."""
+        self._check_range(offset, size)
+        lp = self.logical_page_bytes
+        geom = self.geometry
+        first = -(-offset // lp)  # ceil: partial head page is kept
+        last_excl = (offset + size) // lp
+        self.stats.trims += 1
+        for lpn in range(first, last_excl):
+            gang, slot = self._gang_slot(lpn)
+            e_base = gang * self.shards
+            if self._maps[e_base][slot] < 0:
+                continue
+            for j in range(self.shards):
+                e_idx = e_base + j
+                ppn = int(self._maps[e_idx][slot])
+                if ppn >= 0:
+                    self.elements[e_idx].invalidate_state(
+                        geom.block_of(ppn), geom.page_of(ppn)
+                    )
+                    self._maps[e_idx][slot] = -1
+                    self.stats.trimmed_pages += 1
+
+    # ------------------------------------------------------------------
+    # admission control / introspection
+    # ------------------------------------------------------------------
+
+    def pages_needed(self, offset: int, size: int) -> dict[int, int]:
+        """Programs per element a write of this range will issue."""
+        lp = self.logical_page_bytes
+        end = offset + size
+        needed: dict[int, int] = {}
+        for lpn in range(offset // lp, (end - 1) // lp + 1):
+            gang, _slot = self._gang_slot(lpn)
+            for j in range(self.shards):
+                e_idx = gang * self.shards + j
+                needed[e_idx] = needed.get(e_idx, 0) + 1
+        return needed
+
+    def can_accept_write(self, offset: int, size: int) -> bool:
+        for e_idx, count in self.pages_needed(offset, size).items():
+            if self._free[e_idx] - count < self.reserve_pages:
+                return False
+        return True
+
+    def ensure_space(self, offset: int, size: int) -> None:
+        for e_idx, count in self.pages_needed(offset, size).items():
+            if self._free[e_idx] - count < self.reserve_pages:
+                self.cleaner.maybe_clean(e_idx, force=True)
+
+    def priority_idle(self) -> None:
+        self.cleaner.resume_paused()
+
+    def elements_for_range(self, offset: int, size: int) -> List[int]:
+        lp = self.logical_page_bytes
+        fp = self.geometry.page_bytes
+        end = offset + size
+        out: Set[int] = set()
+        for lpn in range(offset // lp, (end - 1) // lp + 1):
+            page_base = lpn * lp
+            a = max(offset, page_base) - page_base
+            b = min(end, page_base + lp) - page_base
+            gang, _slot = self._gang_slot(lpn)
+            for j in range(self.shards):
+                if min(b, (j + 1) * fp) - max(a, j * fp) > 0:
+                    out.add(gang * self.shards + j)
+        return sorted(out)
+
+    def mapped_ppn(self, lpn: int, shard: int = 0) -> int:
+        """Physical page of one shard of *lpn* (-1 if unmapped); test hook."""
+        gang, slot = self._gang_slot(lpn)
+        return int(self._maps[gang * self.shards + shard][slot])
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Verify map/reverse-map agreement and free accounting.
+
+        Raises AssertionError on the first violation; the test suite calls
+        this after every workload it runs.
+        """
+        geom = self.geometry
+        ppb = geom.pages_per_block
+        for e_idx, el in enumerate(self.elements):
+            emap = self._maps[e_idx]
+            # every mapped slot points at a VALID page tagged with the slot
+            mapped = np.nonzero(emap >= 0)[0]
+            for slot in mapped:
+                ppn = int(emap[slot])
+                blk, pg = geom.block_of(ppn), geom.page_of(ppn)
+                assert el.page_state[blk, pg] == PageState.VALID, (
+                    f"element {e_idx} slot {slot}: mapped ppn {ppn} not VALID"
+                )
+                assert el.reverse_lpn[blk, pg] == slot, (
+                    f"element {e_idx} slot {slot}: reverse tag "
+                    f"{el.reverse_lpn[blk, pg]} != slot"
+                )
+            # every VALID page is mapped back from its reverse tag
+            valid_total = int((el.page_state == PageState.VALID).sum())
+            assert valid_total == len(mapped), (
+                f"element {e_idx}: {valid_total} VALID pages but "
+                f"{len(mapped)} mapped slots"
+            )
+            # per-block valid counts agree with the state array
+            recount = (el.page_state == PageState.VALID).sum(axis=1)
+            assert (recount == el.valid_count).all(), (
+                f"element {e_idx}: valid_count out of sync"
+            )
+            # free accounting: pool blocks contribute ppb, frontiers their tail
+            free = sum(
+                ppb - int(el.write_ptr[b]) for b in self._pool[e_idx]
+            )
+            for frontier in self._frontier[e_idx].values():
+                free += ppb - int(el.write_ptr[frontier])
+            assert free == self._free[e_idx], (
+                f"element {e_idx}: computed free {free} != tracked "
+                f"{self._free[e_idx]}"
+            )

@@ -1,0 +1,153 @@
+"""Zero-time steady-state warmup for cleaning experiments.
+
+The paper's cleaning experiments (Tables 5/6, Figure 3) run on devices that
+are already *full* — cleaning only matters once the free pool is scarce and
+invalid pages are scattered.  Simulating hours of fill traffic event by
+event would dominate run time, so these helpers bulk-initialize FTL state
+directly (mappings, page states, counters), bypassing the event loop, and
+leave the device exactly as if the fill had been simulated:
+``check_consistency`` passes afterwards, which the test suite asserts.
+
+``overwrite_fraction`` performs a second pass of random logical-page
+rewrites so invalid pages scatter across blocks — the steady state a real
+aged device is in.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.flash.element import PageState
+from repro.ftl.blockmap import BlockMappedFTL
+from repro.ftl.hybrid import HybridLogBlockFTL
+from repro.ftl.pagemap import PageMappedFTL
+
+__all__ = ["prefill_pagemap", "prefill_stripe_ftl"]
+
+
+def prefill_pagemap(
+    ftl: PageMappedFTL,
+    fill_fraction: float = 0.9,
+    overwrite_fraction: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> int:
+    """Fill the first ``fill_fraction`` of the logical space, then rewrite a
+    further ``overwrite_fraction`` of it at random.  Returns the number of
+    logical pages mapped."""
+    if not 0.0 <= fill_fraction <= 1.0:
+        raise ValueError(f"fill_fraction must be in [0, 1], got {fill_fraction}")
+    if overwrite_fraction < 0.0:
+        raise ValueError("overwrite_fraction must be non-negative")
+
+    geom = ftl.geometry
+    ppb = geom.pages_per_block
+    count = int(fill_fraction * ftl.user_logical_pages)
+
+    for e_idx, el in enumerate(ftl.elements):
+        gang = e_idx // ftl.shards
+        # logical pages gang, gang+n_gangs, ... < count land here, at
+        # consecutive map slots 0..n-1
+        n = len(range(gang, count, ftl.n_gangs))
+        if n == 0:
+            continue
+        emap = ftl._maps[e_idx]
+        pool = ftl._pool[e_idx]
+        if -(-n // ppb) > len(pool):
+            raise ValueError(
+                f"element {e_idx}: fill needs {-(-n // ppb)} blocks, pool has "
+                f"{len(pool)} (reduce fill_fraction)"
+            )
+        filled = 0
+        while filled < n:
+            block = pool.pop(0)
+            take = min(ppb, n - filled)
+            el.page_state[block, :take] = PageState.VALID
+            el.reverse_lpn[block, :take] = np.arange(filled, filled + take)
+            el.valid_count[block] = take
+            el.write_ptr[block] = take
+            emap[filled : filled + take] = block * ppb + np.arange(take)
+            ftl._free[e_idx] -= take
+            if take < ppb:
+                ftl._frontier[e_idx]["hot"] = block
+            filled += take
+
+    if overwrite_fraction > 0.0 and count > 0:
+        rng = rng if rng is not None else random.Random(0)
+        rewrites = int(overwrite_fraction * count)
+        for _ in range(rewrites):
+            lpn = rng.randrange(count)
+            gang, slot = ftl._gang_slot(lpn)
+            for j in range(ftl.shards):
+                e_idx = gang * ftl.shards + j
+                el = ftl.elements[e_idx]
+                # hold the element at its steady-state level: just above the
+                # cleaner's low watermark (where a live device hovers)
+                floor = max(
+                    ftl.reserve_pages,
+                    ftl.cleaner.low_watermark_pages + ftl.geometry.pages_per_block,
+                )
+                while ftl.free_pages(e_idx) <= floor:
+                    if not _instant_clean(ftl, e_idx):
+                        raise ValueError(
+                            f"element {e_idx}: nothing reclaimable during "
+                            "prefill (reduce fill_fraction)"
+                        )
+                old = int(ftl._maps[e_idx][slot])
+                el.invalidate_state(geom.block_of(old), geom.page_of(old))
+                block, page = ftl.allocate_page(e_idx)
+                el.program_state(block, page, slot)
+                ftl._maps[e_idx][slot] = geom.page_index(block, page)
+    return count
+
+
+def _instant_clean(ftl: PageMappedFTL, e_idx: int) -> bool:
+    """One zero-time greedy clean: state transitions only, no events.
+
+    Used exclusively during warmup; the timed cleaner in
+    :mod:`repro.ftl.cleaning` does the same work on the clock.
+    """
+    victim = ftl.cleaner.select_victim(e_idx)
+    if victim < 0:
+        return False
+    el = ftl.elements[e_idx]
+    geom = ftl.geometry
+    pages = np.nonzero(el.page_state[victim] == PageState.VALID)[0]
+    for page in pages:
+        slot = int(el.reverse_lpn[victim, int(page)])
+        el.invalidate_state(victim, int(page))
+        block, new_page = ftl.allocate_page(e_idx, for_cleaning=True)
+        el.program_state(block, new_page, slot)
+        ftl.map_for(e_idx)[slot] = geom.page_index(block, new_page)
+    el.erase_state(victim)
+    ftl.release_block(e_idx, victim)
+    return True
+
+
+def prefill_stripe_ftl(
+    ftl: Union[BlockMappedFTL, HybridLogBlockFTL],
+    fill_fraction: float = 0.9,
+) -> int:
+    """Map the first ``fill_fraction`` of a stripe-mapped FTL's logical
+    stripes to fully-valid rows (so overwrites trigger RMW/log appends, as on
+    an aged device).  Returns the number of stripes mapped."""
+    if not 0.0 <= fill_fraction <= 1.0:
+        raise ValueError(f"fill_fraction must be in [0, 1], got {fill_fraction}")
+    ppb = ftl.geometry.pages_per_block
+    total = ftl.n_gangs * ftl.user_rows_per_gang
+    count = int(fill_fraction * total)
+    for lbn in range(count):
+        gang, slot = ftl._gang_slot(lbn)
+        if ftl._maps[gang][slot] >= 0:
+            continue
+        row = ftl._pool[gang].pop(0)
+        ftl._maps[gang][slot] = row
+        for j in range(ftl.shards):
+            el = ftl.elements[gang * ftl.shards + j]
+            el.page_state[row, :] = PageState.VALID
+            el.reverse_lpn[row, :] = slot
+            el.valid_count[row] = ppb
+            el.write_ptr[row] = ppb
+    return count

@@ -1,0 +1,16 @@
+"""Mechanical disk model (the paper's HDD baseline, a Barracuda 7200.11).
+
+First-order but honest: zoned geometry (outer tracks hold more sectors,
+which breaks contract term 3), a settle+sqrt+linear seek curve, continuous
+rotation, a write-back cache with elevator draining, and track read-ahead.
+These mechanisms produce the two properties Table 2 needs — a two-orders-of-
+magnitude sequential/random gap, and random writes a couple of times faster
+than random reads thanks to the cache — plus the latency-vs-distance
+correlation probed by contract term 2.
+"""
+
+from repro.hdd.geometry import DiskGeometry, Zone
+from repro.hdd.seek import SeekModel
+from repro.hdd.disk import HDD, HDDConfig
+
+__all__ = ["DiskGeometry", "Zone", "SeekModel", "HDD", "HDDConfig"]

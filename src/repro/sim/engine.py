@@ -1,0 +1,150 @@
+"""A small, fast discrete-event simulator.
+
+Design notes
+------------
+* The event queue is a binary heap of ``[time, seq, fn, args, alive]`` lists.
+  ``seq`` makes ordering deterministic when two events share a timestamp,
+  which matters for reproducible experiments.
+* Cancellation is lazy: :meth:`Simulator.cancel` flips the ``alive`` flag and
+  the event is discarded when popped.  This keeps ``schedule``/``cancel``
+  O(log n) without heap surgery.
+* Callbacks run with the simulator clock already advanced to the event time,
+  so a callback that calls :meth:`Simulator.schedule` with delay 0 runs later
+  in the same instant (after all earlier same-time events).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for programming errors against the event loop API."""
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and can be passed to
+    :meth:`Simulator.cancel`.  They compare by (time, seq) so they can live in
+    the heap directly.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "alive")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.alive = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "cancelled"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.3f}us #{self.seq} {name} {state}>"
+
+
+class Simulator:
+    """Single-threaded discrete-event loop with a float-microsecond clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._events_run: int = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay_us: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run *delay_us* after the current time."""
+        if delay_us < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_us})")
+        return self.schedule_at(self.now + delay_us, fn, *args)
+
+    def schedule_at(self, time_us: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the absolute simulated time *time_us*."""
+        if time_us < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time_us} before current time {self.now}"
+            )
+        event = Event(time_us, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event; cancelling twice or after it ran is a no-op."""
+        event.alive = False
+
+    # -- running ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if the queue is empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if not event.alive:
+                continue
+            self.now = event.time
+            event.alive = False
+            self._events_run += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until_us: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, the clock passes *until_us*, or
+        *max_events* callbacks have run.  Returns the number of callbacks run.
+
+        When stopping on *until_us*, the clock is advanced to exactly
+        *until_us* and events scheduled later stay queued.
+        """
+        ran = 0
+        heap = self._heap
+        while heap:
+            if max_events is not None and ran >= max_events:
+                break
+            event = heap[0]
+            if not event.alive:
+                heapq.heappop(heap)
+                continue
+            if until_us is not None and event.time > until_us:
+                break
+            heapq.heappop(heap)
+            self.now = event.time
+            event.alive = False
+            event.fn(*event.args)
+            ran += 1
+        if until_us is not None and self.now < until_us:
+            self.now = until_us
+        self._events_run += ran
+        return ran
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> int:
+        """Run until no events remain.  Convenience wrapper over :meth:`run`."""
+        return self.run(until_us=None, max_events=max_events)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued (upper bound:
+        lazily cancelled events are counted until popped)."""
+        return sum(1 for e in self._heap if e.alive)
+
+    @property
+    def events_run(self) -> int:
+        """Total callbacks executed since construction."""
+        return self._events_run
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now:.3f}us queued={len(self._heap)}>"

@@ -1,0 +1,43 @@
+"""Serially-shared resources (buses, links).
+
+A :class:`SerialResource` models a link that transfers one payload at a
+time: a transfer requested while the link is busy starts when the link
+frees.  Used for the SSD's host interface and the shared gang bus.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Simulator
+
+__all__ = ["SerialResource"]
+
+
+class SerialResource:
+    """FIFO-ordered serial resource characterized by a bandwidth."""
+
+    def __init__(self, sim: Simulator, mb_per_s: float) -> None:
+        if mb_per_s <= 0:
+            raise ValueError(f"bandwidth must be positive, got {mb_per_s}")
+        self.sim = sim
+        self._bytes_per_us = mb_per_s * 1024 * 1024 / 1_000_000.0
+        self.busy_until = 0.0
+        self.bytes_transferred = 0
+
+    def duration_us(self, nbytes: int) -> float:
+        return nbytes / self._bytes_per_us
+
+    def transfer(self, nbytes: int, then: Callable[[float], None]) -> float:
+        """Queue a transfer; ``then(finish_time)`` fires when it completes.
+        Returns the scheduled finish time."""
+        start = max(self.sim.now, self.busy_until)
+        finish = start + self.duration_us(nbytes)
+        self.busy_until = finish
+        self.bytes_transferred += nbytes
+        self.sim.schedule(finish - self.sim.now, then, finish)
+        return finish
+
+    def wait_us(self) -> float:
+        """How long a transfer queued now would wait before starting."""
+        return max(0.0, self.busy_until - self.sim.now)

@@ -1,0 +1,222 @@
+"""Measurement primitives: running moments, latency percentiles, rates.
+
+These are deliberately simple containers.  Experiments create them, devices
+feed them, and the bench harness formats their summaries into the paper's
+tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "RunningStats",
+    "LatencyRecorder",
+    "LatencySummary",
+    "Counter",
+    "Histogram",
+    "BandwidthMeter",
+    "percentile",
+]
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list.
+
+    ``fraction`` is in [0, 1].  Raises ``ValueError`` on empty input so a
+    missing measurement can't silently read as zero.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = fraction * (len(sorted_values) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return sorted_values[lo]
+    weight = pos - lo
+    return sorted_values[lo] * (1.0 - weight) + sorted_values[hi] * weight
+
+
+class RunningStats:
+    """Welford online mean/variance plus min/max."""
+
+    __slots__ = ("n", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Population variance; 0.0 until two samples exist."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / self.n
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.n == 0:
+            return "<RunningStats empty>"
+        return (
+            f"<RunningStats n={self.n} mean={self.mean:.3f} "
+            f"sd={self.stdev:.3f} min={self.min:.3f} max={self.max:.3f}>"
+        )
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Immutable summary emitted by :class:`LatencyRecorder`."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    max_us: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean_us / 1000.0
+
+
+class LatencyRecorder:
+    """Collects response times (µs) and summarizes them.
+
+    Samples are kept in full by default; experiments in this repo record at
+    most a few hundred thousand samples so memory is not a concern, and exact
+    percentiles keep the tables honest.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, latency_us: float) -> None:
+        self._samples.append(latency_us)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        """The raw samples (not a copy; treat as read-only)."""
+        return self._samples
+
+    def summary(self) -> LatencySummary:
+        if not self._samples:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(self._samples)
+        total = sum(ordered)
+        return LatencySummary(
+            count=len(ordered),
+            mean_us=total / len(ordered),
+            p50_us=percentile(ordered, 0.50),
+            p95_us=percentile(ordered, 0.95),
+            p99_us=percentile(ordered, 0.99),
+            max_us=ordered[-1],
+        )
+
+
+class Counter:
+    """A dict of named monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self._counts!r})"
+
+
+class Histogram:
+    """Fixed-bin histogram over [0, upper) with an overflow bucket."""
+
+    def __init__(self, upper: float, nbins: int) -> None:
+        if upper <= 0 or nbins <= 0:
+            raise ValueError("upper and nbins must be positive")
+        self.upper = upper
+        self.nbins = nbins
+        self._width = upper / nbins
+        self.bins = [0] * nbins
+        self.overflow = 0
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if value >= self.upper:
+            self.overflow += 1
+            return
+        index = int(value / self._width)
+        if index >= self.nbins:  # float edge case at exactly upper
+            self.overflow += 1
+        else:
+            self.bins[index] += 1
+
+    def bin_edges(self) -> List[float]:
+        return [i * self._width for i in range(self.nbins + 1)]
+
+
+@dataclass
+class BandwidthMeter:
+    """Accumulates completed bytes over a measurement window."""
+
+    bytes_done: int = 0
+    start_us: float = 0.0
+    end_us: float = 0.0
+    _started: bool = field(default=False, repr=False)
+
+    def begin(self, now_us: float) -> None:
+        self.start_us = now_us
+        self.end_us = now_us
+        self._started = True
+
+    def add(self, nbytes: int, now_us: float) -> None:
+        if not self._started:
+            self.begin(now_us)
+        self.bytes_done += nbytes
+        if now_us > self.end_us:
+            self.end_us = now_us
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.end_us - self.start_us
+
+    def mb_per_s(self, elapsed_us: Optional[float] = None) -> float:
+        from repro.units import mb_per_s as _mbps
+
+        window = self.elapsed_us if elapsed_us is None else elapsed_us
+        return _mbps(self.bytes_done, window)

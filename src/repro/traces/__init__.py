@@ -1,0 +1,18 @@
+"""Trace model, serialization, and workload-specific generators."""
+
+from repro.traces.analysis import TraceProfile, analyze, sequentiality
+from repro.traces.record import TraceOp, TraceRecord
+from repro.traces.io import load_trace, save_trace
+from repro.traces.synthetic import SyntheticConfig, generate_synthetic
+
+__all__ = [
+    "TraceOp",
+    "TraceRecord",
+    "TraceProfile",
+    "analyze",
+    "sequentiality",
+    "load_trace",
+    "save_trace",
+    "SyntheticConfig",
+    "generate_synthetic",
+]

@@ -1,0 +1,126 @@
+"""Trace analysis: the workload properties the paper's results hinge on.
+
+Every experiment's outcome is a function of a few trace characteristics —
+read/write mix, request-size distribution, *sequentiality* (how often a
+request continues its predecessor), footprint, and arrival intensity.
+:func:`analyze` computes them so generated (or imported) traces can be
+validated against the workload they claim to model, and so EXPERIMENTS.md
+claims ("IOzone is large and sequential") are checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.traces.record import TraceOp, TraceRecord
+from repro.units import mb_per_s
+
+__all__ = ["TraceProfile", "analyze", "sequentiality"]
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Summary statistics of a block trace."""
+
+    records: int
+    reads: int
+    writes: int
+    frees: int
+    read_fraction: float
+    bytes_read: int
+    bytes_written: int
+    bytes_freed: int
+    mean_request_bytes: float
+    min_request_bytes: int
+    max_request_bytes: int
+    #: fraction of READ/WRITE requests that start where the previous
+    #: same-op request ended
+    sequentiality: float
+    #: distinct 4 KB blocks touched by reads/writes
+    footprint_bytes: int
+    #: highest byte address touched
+    address_span_bytes: int
+    duration_us: float
+    mean_interarrival_us: float
+    offered_load_mb_s: float
+    priority_fraction: float
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        return "\n".join([
+            f"records        : {self.records} "
+            f"(R {self.reads} / W {self.writes} / F {self.frees})",
+            f"read fraction  : {self.read_fraction:.2f}",
+            f"request bytes  : mean {self.mean_request_bytes:,.0f} "
+            f"[{self.min_request_bytes:,} .. {self.max_request_bytes:,}]",
+            f"sequentiality  : {self.sequentiality:.2f}",
+            f"footprint      : {self.footprint_bytes / (1 << 20):.1f} MiB "
+            f"over a {self.address_span_bytes / (1 << 20):.1f} MiB span",
+            f"duration       : {self.duration_us / 1000:.1f} ms "
+            f"(mean inter-arrival {self.mean_interarrival_us:.1f} us)",
+            f"offered load   : {self.offered_load_mb_s:.1f} MB/s",
+            f"priority       : {self.priority_fraction:.2f} of requests",
+        ])
+
+
+def sequentiality(records: Sequence[TraceRecord]) -> float:
+    """Fraction of READ/WRITE requests continuing the previous request of
+    the same op (the knob Table 3 sweeps, measured back from a trace)."""
+    last_end: Dict[TraceOp, int] = {}
+    sequential = 0
+    considered = 0
+    for record in records:
+        if record.op is TraceOp.FREE:
+            continue
+        if record.op in last_end:
+            considered += 1
+            if record.offset == last_end[record.op]:
+                sequential += 1
+        last_end[record.op] = record.end
+    return sequential / considered if considered else 0.0
+
+
+def analyze(records: Iterable[TraceRecord], block_bytes: int = 4096) -> TraceProfile:
+    """Compute a :class:`TraceProfile` over *records*."""
+    records = list(records)
+    if not records:
+        raise ValueError("cannot analyze an empty trace")
+    reads = [r for r in records if r.op is TraceOp.READ]
+    writes = [r for r in records if r.op is TraceOp.WRITE]
+    frees = [r for r in records if r.op is TraceOp.FREE]
+    io_records = [r for r in records if r.op is not TraceOp.FREE]
+
+    touched = set()
+    span = 0
+    for record in io_records:
+        span = max(span, record.end)
+        touched.update(
+            range(record.offset // block_bytes, -(-record.end // block_bytes))
+        )
+
+    duration = records[-1].time_us - records[0].time_us
+    total_io_bytes = sum(r.size for r in io_records)
+    sizes = [r.size for r in io_records] or [0]
+    return TraceProfile(
+        records=len(records),
+        reads=len(reads),
+        writes=len(writes),
+        frees=len(frees),
+        read_fraction=len(reads) / len(io_records) if io_records else 0.0,
+        bytes_read=sum(r.size for r in reads),
+        bytes_written=sum(r.size for r in writes),
+        bytes_freed=sum(r.size for r in frees),
+        mean_request_bytes=total_io_bytes / len(io_records) if io_records else 0.0,
+        min_request_bytes=min(sizes),
+        max_request_bytes=max(sizes),
+        sequentiality=sequentiality(records),
+        footprint_bytes=len(touched) * block_bytes,
+        address_span_bytes=span,
+        duration_us=duration,
+        mean_interarrival_us=duration / max(1, len(records) - 1),
+        offered_load_mb_s=mb_per_s(total_io_bytes, duration) if duration else 0.0,
+        priority_fraction=(
+            sum(1 for r in records if r.priority > 0) / len(records)
+        ),
+    )

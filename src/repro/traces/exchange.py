@@ -1,0 +1,68 @@
+"""Exchange-server-style block trace (Table 4 macro workload).
+
+Mail-server storage (the paper's Exchange trace) mixes random database-page
+I/O with *bursty runs* of medium-sized writes — message delivery batches
+and background maintenance touch neighbouring pages.  Those short
+sequential runs give the aligning buffer something to merge, which is why
+Exchange gains more than TPCC (4.89% vs 3.08%) but far less than IOzone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.rng import stream
+from repro.traces.record import TraceOp, TraceRecord
+
+__all__ = ["ExchangeConfig", "generate_exchange"]
+
+
+@dataclass(frozen=True)
+class ExchangeConfig:
+    count: int = 5000
+    region_bytes: int = 192 << 20
+    page_bytes: int = 8192
+    read_fraction: float = 0.55
+    #: a write burst touches this many consecutive pages on average
+    burst_mean_pages: int = 3
+    burst_max_pages: int = 8
+    interarrival_us: float = 300.0
+    seed: int = 42
+
+
+def generate_exchange(config: ExchangeConfig) -> List[TraceRecord]:
+    addr_rng = stream(config.seed, "exch-addr")
+    mix_rng = stream(config.seed, "exch-mix")
+    burst_rng = stream(config.seed, "exch-burst")
+    arrival_rng = stream(config.seed, "exch-arrivals")
+
+    pages = config.region_bytes // config.page_bytes
+    records: List[TraceRecord] = []
+    now = 0.0
+    emitted = 0
+    while emitted < config.count:
+        now += arrival_rng.expovariate(1.0 / config.interarrival_us)
+        if mix_rng.random() < config.read_fraction:
+            offset = addr_rng.randrange(pages) * config.page_bytes
+            records.append(TraceRecord(now, TraceOp.READ, offset, config.page_bytes))
+            emitted += 1
+            continue
+        # write burst: consecutive pages, arriving back-to-back
+        length = min(
+            config.burst_max_pages,
+            max(1, round(burst_rng.expovariate(1.0 / config.burst_mean_pages))),
+        )
+        start = addr_rng.randrange(max(1, pages - length)) * config.page_bytes
+        for index in range(length):
+            if emitted >= config.count:
+                break
+            now += arrival_rng.expovariate(1.0 / (config.interarrival_us / 4))
+            records.append(
+                TraceRecord(
+                    now, TraceOp.WRITE,
+                    start + index * config.page_bytes, config.page_bytes,
+                )
+            )
+            emitted += 1
+    return records

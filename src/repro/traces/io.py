@@ -1,0 +1,53 @@
+"""Trace (de)serialization: a simple one-record-per-line text format.
+
+    # time_us op offset size [priority]
+    0.0 W 0 4096 0
+    125.4 R 8192 4096 1
+    220.9 F 0 4096
+
+Comment lines start with ``#``.  The format is deliberately trivial so
+traces can be inspected, diffed, and produced by other tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.traces.record import TraceOp, TraceRecord
+
+__all__ = ["save_trace", "load_trace"]
+
+
+def save_trace(records: Iterable[TraceRecord], path: Union[str, Path]) -> int:
+    """Write records to *path*; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# time_us op offset size priority\n")
+        for record in records:
+            fh.write(
+                f"{record.time_us:.3f} {record.op.value} "
+                f"{record.offset} {record.size} {record.priority}\n"
+            )
+            count += 1
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> List[TraceRecord]:
+    """Read a trace file written by :func:`save_trace`."""
+    records: List[TraceRecord] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (4, 5):
+                raise ValueError(f"{path}:{lineno}: expected 4-5 fields, got {len(parts)}")
+            time_us = float(parts[0])
+            op = TraceOp.parse(parts[1])
+            offset = int(parts[2])
+            size = int(parts[3])
+            priority = int(parts[4]) if len(parts) == 5 else 0
+            records.append(TraceRecord(time_us, op, offset, size, priority))
+    return records

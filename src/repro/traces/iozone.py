@@ -1,0 +1,65 @@
+"""IOzone-style block trace (Table 4 macro workload).
+
+IOzone's automatic mode streams large sequential writes, rewrites, and
+reads over a test file.  Its writes are big and contiguous, so nearly every
+one of them completes a 32 KB stripe in the aligning buffer — the paper
+measures a 36.54% response-time improvement, by far the largest of the
+four macro workloads ("IOzone benefits the most due to its large write
+sizes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.rng import stream
+from repro.traces.record import TraceOp, TraceRecord
+
+__all__ = ["IOzoneConfig", "generate_iozone"]
+
+
+@dataclass(frozen=True)
+class IOzoneConfig:
+    count: int = 3000
+    file_bytes: int = 128 << 20
+    record_bytes: int = 256 * 1024
+    #: write, rewrite, read, reread phase proportions (normalized)
+    write_share: float = 0.35
+    rewrite_share: float = 0.25
+    read_share: float = 0.25
+    interarrival_us: float = 500.0
+    seed: int = 42
+
+
+def generate_iozone(config: IOzoneConfig) -> List[TraceRecord]:
+    arrival_rng = stream(config.seed, "iozone-arrivals")
+    records: List[TraceRecord] = []
+    now = 0.0
+    position = 0
+
+    def advance() -> int:
+        nonlocal position
+        offset = position
+        position += config.record_bytes
+        if position + config.record_bytes > config.file_bytes:
+            position = 0
+        return offset
+
+    n_write = int(config.count * config.write_share)
+    n_rewrite = int(config.count * config.rewrite_share)
+    n_read = int(config.count * config.read_share)
+    n_reread = config.count - n_write - n_rewrite - n_read
+
+    phases = (
+        (TraceOp.WRITE, n_write),
+        (TraceOp.WRITE, n_rewrite),
+        (TraceOp.READ, n_read),
+        (TraceOp.READ, n_reread),
+    )
+    for op, count in phases:
+        position = 0
+        for _ in range(count):
+            now += arrival_rng.expovariate(1.0 / config.interarrival_us)
+            records.append(TraceRecord(now, op, advance(), config.record_bytes))
+    return records

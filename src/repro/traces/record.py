@@ -1,0 +1,63 @@
+"""The trace record: one timestamped block-level operation.
+
+Traces are the lingua franca between workload generators and devices.  A
+record's ``op`` is READ/WRITE/FREE — FREE being the delete notification that
+the paper's informed-cleaning experiment feeds the SSD (§3.5); devices
+without trim support simply complete FREEs as no-ops.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.device.interface import OpType
+
+__all__ = ["TraceOp", "TraceRecord"]
+
+
+class TraceOp(enum.Enum):
+    READ = "R"
+    WRITE = "W"
+    FREE = "F"
+
+    def to_op_type(self) -> OpType:
+        return _TO_OPTYPE[self]
+
+    @classmethod
+    def parse(cls, token: str) -> "TraceOp":
+        try:
+            return cls(token.upper())
+        except ValueError:
+            raise ValueError(f"unknown trace op {token!r} (expected R/W/F)") from None
+
+
+_TO_OPTYPE = {
+    TraceOp.READ: OpType.READ,
+    TraceOp.WRITE: OpType.WRITE,
+    TraceOp.FREE: OpType.FREE,
+}
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One operation: issue ``op`` on bytes [offset, offset+size) at
+    ``time_us`` with the given priority class (0 = background)."""
+
+    time_us: float
+    op: TraceOp
+    offset: int
+    size: int
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"trace record size must be positive, got {self.size}")
+        if self.offset < 0:
+            raise ValueError(f"trace record offset must be >= 0, got {self.offset}")
+        if self.time_us < 0:
+            raise ValueError(f"trace record time must be >= 0, got {self.time_us}")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size

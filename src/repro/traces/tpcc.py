@@ -1,0 +1,63 @@
+"""TPC-C-style block trace (Table 4 macro workload).
+
+OLTP against a buffer-managed database: dominant pattern is random 8 KB
+page I/O over a large table+index region (≈65% reads / 35% writes), plus a
+small sequential log-append stream.  Random page-sized writes rarely merge
+into 32 KB stripes, which is why the paper measures only a 3.08%
+improvement from stripe alignment on TPCC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.rng import stream
+from repro.traces.record import TraceOp, TraceRecord
+
+__all__ = ["TPCCConfig", "generate_tpcc"]
+
+
+@dataclass(frozen=True)
+class TPCCConfig:
+    count: int = 5000
+    region_bytes: int = 192 << 20
+    page_bytes: int = 8192
+    read_fraction: float = 0.65
+    #: fraction of operations that are sequential log appends
+    log_fraction: float = 0.10
+    log_bytes: int = 4096
+    #: log area at the top of the region
+    log_region_bytes: int = 16 << 20
+    interarrival_us: float = 300.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.region_bytes <= self.log_region_bytes:
+            raise ValueError("region must exceed the log area")
+
+
+def generate_tpcc(config: TPCCConfig) -> List[TraceRecord]:
+    addr_rng = stream(config.seed, "tpcc-addr")
+    mix_rng = stream(config.seed, "tpcc-mix")
+    arrival_rng = stream(config.seed, "tpcc-arrivals")
+
+    table_bytes = config.region_bytes - config.log_region_bytes
+    table_pages = table_bytes // config.page_bytes
+    records: List[TraceRecord] = []
+    now = 0.0
+    log_head = table_bytes
+    for _ in range(config.count):
+        now += arrival_rng.expovariate(1.0 / config.interarrival_us)
+        if mix_rng.random() < config.log_fraction:
+            if log_head + config.log_bytes > config.region_bytes:
+                log_head = table_bytes
+            records.append(
+                TraceRecord(now, TraceOp.WRITE, log_head, config.log_bytes)
+            )
+            log_head += config.log_bytes
+            continue
+        offset = addr_rng.randrange(table_pages) * config.page_bytes
+        op = TraceOp.READ if mix_rng.random() < config.read_fraction else TraceOp.WRITE
+        records.append(TraceRecord(now, op, offset, config.page_bytes))
+    return records

@@ -1,0 +1,21 @@
+"""Workload drivers: trace replay, closed-loop generators, microbenchmarks."""
+
+from repro.workloads.driver import (
+    ClosedLoopDriver,
+    WorkloadResult,
+    replay_trace,
+)
+from repro.workloads.microbench import (
+    MicrobenchResult,
+    measure_bandwidth,
+    prepare_region,
+)
+
+__all__ = [
+    "ClosedLoopDriver",
+    "WorkloadResult",
+    "replay_trace",
+    "MicrobenchResult",
+    "measure_bandwidth",
+    "prepare_region",
+]

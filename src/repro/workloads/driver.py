@@ -1,0 +1,160 @@
+"""Drivers that push traces or generated streams through a device.
+
+* :func:`replay_trace` — open-loop: every record is submitted at its
+  timestamp regardless of completions (the device's queue absorbs bursts).
+  This is how the paper's priority/cleaning experiments load the SSD.
+* :class:`ClosedLoopDriver` — keeps a fixed number of requests outstanding,
+  drawing the next operation from a generator; used by the
+  microbenchmarks (Table 2) and the SWTF experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.device.interface import Completion, IORequest, OpType
+from repro.sim.engine import Simulator
+from repro.sim.stats import LatencyRecorder, LatencySummary
+from repro.traces.record import TraceOp, TraceRecord
+from repro.units import mb_per_s
+
+__all__ = ["WorkloadResult", "replay_trace", "ClosedLoopDriver"]
+
+
+@dataclass
+class WorkloadResult:
+    """Latency/bandwidth summary of one driven workload."""
+
+    completions: List[Completion] = field(default_factory=list)
+    elapsed_us: float = 0.0
+
+    def _recorder(self, predicate: Callable[[Completion], bool]) -> LatencyRecorder:
+        recorder = LatencyRecorder()
+        for completion in self.completions:
+            if predicate(completion):
+                recorder.record(completion.response_us)
+        return recorder
+
+    def latency(
+        self,
+        op: Optional[OpType] = None,
+        priority: Optional[bool] = None,
+    ) -> LatencySummary:
+        """Latency summary filtered by op and/or priority class."""
+
+        def match(completion: Completion) -> bool:
+            if op is not None and completion.op is not op:
+                return False
+            if priority is not None and (completion.priority > 0) != priority:
+                return False
+            return True
+
+        return self._recorder(match).summary()
+
+    @property
+    def count(self) -> int:
+        return len(self.completions)
+
+    def bandwidth_mb_s(self, op: Optional[OpType] = None) -> float:
+        nbytes = sum(
+            c.size
+            for c in self.completions
+            if op is None or c.op is op
+        )
+        return mb_per_s(nbytes, self.elapsed_us)
+
+
+def replay_trace(
+    sim: Simulator,
+    device,
+    records: Iterable[TraceRecord],
+    time_scale: float = 1.0,
+    collect_frees: bool = False,
+) -> WorkloadResult:
+    """Open-loop replay: submit each record at ``time_us * time_scale``.
+
+    Returns after the event queue drains.  READ/WRITE completions are
+    collected (FREEs too with ``collect_frees``); ``elapsed_us`` spans first
+    submission to last completion.
+    """
+    result = WorkloadResult()
+    start = sim.now
+
+    def on_complete(request: IORequest) -> None:
+        if request.op in (OpType.READ, OpType.WRITE) or collect_frees:
+            result.completions.append(Completion.of(request))
+
+    def submit(record: TraceRecord) -> None:
+        device.submit(
+            IORequest(
+                record.op.to_op_type(),
+                record.offset,
+                record.size,
+                priority=record.priority,
+                on_complete=on_complete,
+            )
+        )
+
+    for record in records:
+        sim.schedule_at(start + record.time_us * time_scale, submit, record)
+    sim.run_until_idle()
+    result.elapsed_us = sim.now - start
+    return result
+
+
+class ClosedLoopDriver:
+    """Keeps ``depth`` requests outstanding until ``count`` complete.
+
+    ``next_request`` is called for each submission and must return
+    ``(op, offset, size)`` or ``(op, offset, size, priority)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device,
+        next_request: Callable[[int], Tuple],
+        count: int,
+        depth: int = 1,
+        think_time_us: float = 0.0,
+    ) -> None:
+        if depth <= 0 or count <= 0:
+            raise ValueError("depth and count must be positive")
+        self.sim = sim
+        self.device = device
+        self.next_request = next_request
+        self.count = count
+        self.depth = depth
+        self.think_time_us = think_time_us
+        self.result = WorkloadResult()
+        self._issued = 0
+        self._completed = 0
+        self._start_us = 0.0
+
+    def run(self) -> WorkloadResult:
+        self._start_us = self.sim.now
+        for _ in range(min(self.depth, self.count)):
+            self._issue()
+        self.sim.run_until_idle()
+        self.result.elapsed_us = self.sim.now - self._start_us
+        return self.result
+
+    def _issue(self) -> None:
+        spec = self.next_request(self._issued)
+        self._issued += 1
+        op, offset, size = spec[:3]
+        priority = spec[3] if len(spec) > 3 else 0
+        self.device.submit(
+            IORequest(op, offset, size, priority=priority,
+                      on_complete=self._on_complete)
+        )
+
+    def _on_complete(self, request: IORequest) -> None:
+        self._completed += 1
+        self.result.completions.append(Completion.of(request))
+        if self._issued < self.count:
+            if self.think_time_us > 0:
+                self.sim.schedule(self.think_time_us, self._issue)
+            else:
+                self._issue()

@@ -1,0 +1,116 @@
+"""Tests for trace analysis and ASCII plotting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.plot import ascii_plot
+from repro.traces.analysis import analyze, sequentiality
+from repro.traces.iozone import IOzoneConfig, generate_iozone
+from repro.traces.record import TraceOp, TraceRecord
+from repro.traces.synthetic import SyntheticConfig, generate_synthetic
+from repro.traces.tpcc import TPCCConfig, generate_tpcc
+from repro.units import KIB, MIB
+
+
+class TestSequentiality:
+    def test_fully_sequential(self):
+        records = [
+            TraceRecord(i * 10.0, TraceOp.WRITE, i * 4096, 4096)
+            for i in range(10)
+        ]
+        assert sequentiality(records) == 1.0
+
+    def test_fully_random(self):
+        records = [
+            TraceRecord(i * 10.0, TraceOp.WRITE, (i * 7919 % 100) * 8192, 4096)
+            for i in range(50)
+        ]
+        assert sequentiality(records) < 0.1
+
+    def test_tracked_per_op(self):
+        # alternating read/write streams, each sequential in itself
+        records = []
+        for i in range(10):
+            records.append(TraceRecord(i * 10.0, TraceOp.READ, i * 4096, 4096))
+            records.append(
+                TraceRecord(i * 10.0 + 5, TraceOp.WRITE, MIB + i * 4096, 4096)
+            )
+        assert sequentiality(records) == 1.0
+
+    def test_empty_is_zero(self):
+        assert sequentiality([]) == 0.0
+
+    def test_measures_generator_knob(self):
+        for p in (0.0, 0.5, 0.9):
+            records = generate_synthetic(SyntheticConfig(
+                count=4000, region_bytes=64 * MIB, seq_probability=p, seed=3))
+            measured = sequentiality(records)
+            assert abs(measured - p) < 0.08, f"p={p} measured={measured}"
+
+
+class TestAnalyze:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            analyze([])
+
+    def test_counts_and_mix(self):
+        records = [
+            TraceRecord(0.0, TraceOp.WRITE, 0, 8192),
+            TraceRecord(10.0, TraceOp.READ, 0, 4096),
+            TraceRecord(20.0, TraceOp.FREE, 0, 8192),
+        ]
+        profile = analyze(records)
+        assert profile.records == 3
+        assert profile.reads == 1 and profile.writes == 1 and profile.frees == 1
+        assert profile.read_fraction == 0.5
+        assert profile.bytes_written == 8192
+        assert profile.bytes_freed == 8192
+
+    def test_footprint_deduplicates(self):
+        records = [
+            TraceRecord(float(i), TraceOp.WRITE, 0, 4096) for i in range(10)
+        ]
+        profile = analyze(records)
+        assert profile.footprint_bytes == 4096
+
+    def test_iozone_profile_is_large_sequential(self):
+        profile = analyze(generate_iozone(IOzoneConfig(count=400)))
+        assert profile.mean_request_bytes >= 256 * KIB
+        assert profile.sequentiality > 0.9
+
+    def test_tpcc_profile_is_small_random(self):
+        profile = analyze(generate_tpcc(TPCCConfig(count=2000)))
+        assert profile.mean_request_bytes < 16 * KIB
+        assert profile.sequentiality < 0.25
+
+    def test_describe_is_readable(self):
+        profile = analyze(generate_tpcc(TPCCConfig(count=100)))
+        text = profile.describe()
+        assert "sequentiality" in text
+        assert "offered load" in text
+
+
+class TestAsciiPlot:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": []})
+
+    def test_contains_markers_and_labels(self):
+        chart = ascii_plot(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            width=20, height=8, title="T", x_label="xs", y_label="ys",
+        )
+        assert "T" in chart
+        assert "o" in chart and "x" in chart
+        assert "xs" in chart and "ys" in chart
+        assert "a" in chart and "b" in chart
+
+    def test_grid_dimensions(self):
+        chart = ascii_plot({"s": [(0, 0), (10, 5)]}, width=30, height=10)
+        plot_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(plot_lines) == 10
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_plot({"s": [(0, 5), (1, 5), (2, 5)]})
+        assert "o" in chart

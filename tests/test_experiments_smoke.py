@@ -1,0 +1,50 @@
+"""Cheap smoke tests for the experiment harness (full runs live in
+benchmarks/; these only check the plumbing at tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import figure2_sawtooth, swtf_scheduler
+from repro.bench.experiments.ablations import stripe_size
+from repro.bench.experiments.table2_bandwidth import PAPER_TABLE2, PROBES
+
+
+class TestFigure2Smoke:
+    def test_runs_and_has_expected_rows(self):
+        result = figure2_sawtooth.run(scale=0.3)
+        assert result.experiment_id == "figure2"
+        sizes = result.column("Bytes")
+        assert 512 in sizes and 1048576 in sizes
+        assert all(row[2] > 0 for row in result.rows)
+
+    def test_sweep_sizes_cover_peaks_and_troughs(self):
+        sizes = figure2_sawtooth.sweep_sizes(stripe_bytes=1 << 20, stripes=3)
+        assert (1 << 20) in sizes
+        assert (1 << 20) + 512 in sizes
+        assert 3 * (1 << 20) in sizes
+
+
+class TestSwtfSmoke:
+    def test_produces_both_schedulers(self):
+        result = swtf_scheduler.run(scale=0.1)
+        schedulers = result.column("Scheduler")
+        assert schedulers == ["FCFS", "SWTF"]
+        assert "improvement_pct" in result.metadata
+
+
+class TestAblationSmoke:
+    def test_stripe_size_monotone_wa(self):
+        result = stripe_size(scale=0.2)
+        wa = result.column("WriteAmp")
+        assert wa == sorted(wa)
+
+
+class TestTable2Config:
+    def test_probe_params_cover_all_devices(self):
+        for name in PAPER_TABLE2:
+            assert name in PROBES or name == "HDD"
+
+    def test_paper_reference_shape(self):
+        for name, values in PAPER_TABLE2.items():
+            assert len(values) == 6, name

@@ -1,0 +1,201 @@
+"""Unit and invariant tests for the block-mapped FTL (RMW behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flash.element import FlashElement, PageState
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.ftl.blockmap import BlockMappedFTL
+from repro.ftl.prefill import prefill_stripe_ftl
+from repro.sim.engine import Simulator
+
+KB4 = 4096
+
+
+def make_ftl(n_elements=4, gang_size=None, blocks=16, pages=8, spare=0.25):
+    sim = Simulator()
+    geom = FlashGeometry(page_bytes=KB4, pages_per_block=pages,
+                         blocks_per_element=blocks)
+    elements = [
+        FlashElement(sim, geom, FlashTiming.slc(), element_id=i)
+        for i in range(n_elements)
+    ]
+    ftl = BlockMappedFTL(sim, elements, gang_size=gang_size, spare_fraction=spare)
+    return sim, ftl
+
+
+class TestConstruction:
+    def test_stripe_size(self):
+        _sim, ftl = make_ftl(n_elements=4, pages=8)
+        assert ftl.stripe_bytes == 4 * 8 * KB4
+        assert ftl.pages_per_stripe == 32
+
+    def test_gangs(self):
+        _sim, ftl = make_ftl(n_elements=4, gang_size=2)
+        assert ftl.n_gangs == 2
+
+    def test_relaxes_program_order(self):
+        _sim, ftl = make_ftl()
+        assert all(not el.strict_program_order for el in ftl.elements)
+
+    def test_rejects_bad_gang(self):
+        with pytest.raises(ValueError):
+            make_ftl(n_elements=4, gang_size=3)
+
+
+class TestWritePaths:
+    def test_fresh_write_programs_covered_pages_only(self):
+        sim, ftl = make_ftl()
+        ftl.write(0, 2 * KB4)
+        sim.run_until_idle()
+        assert ftl.stats.flash_pages_programmed == 2
+        assert ftl.stats.rmw_pages_read == 0
+        ftl.check_consistency()
+
+    def test_sequential_append_no_rmw(self):
+        sim, ftl = make_ftl()
+        for page in range(8):
+            ftl.write(page * KB4, KB4)
+        sim.run_until_idle()
+        assert ftl.stats.rmw_pages_read == 0
+        assert ftl.stats.flash_pages_programmed == 8
+        ftl.check_consistency()
+
+    def test_overwrite_triggers_full_stripe_rmw(self):
+        sim, ftl = make_ftl()
+        prefill_stripe_ftl(ftl, 1.0)
+        before = ftl.stats.flash_pages_programmed
+        ftl.write(0, KB4)  # 4 KB into a fully-valid 256 KB stripe
+        sim.run_until_idle()
+        programmed = ftl.stats.flash_pages_programmed - before
+        # every page of the stripe lands in the new row
+        assert programmed == ftl.pages_per_stripe
+        assert ftl.stats.rmw_pages_read == ftl.pages_per_stripe - 1
+        ftl.check_consistency()
+
+    def test_rmw_remaps_stripe(self):
+        sim, ftl = make_ftl()
+        prefill_stripe_ftl(ftl, 1.0)
+        old_row = ftl.mapped_row(0)
+        ftl.write(0, KB4)
+        sim.run_until_idle()
+        assert ftl.mapped_row(0) != old_row
+        ftl.check_consistency()
+
+    def test_old_row_returns_to_pool_after_erase(self):
+        sim, ftl = make_ftl()
+        prefill_stripe_ftl(ftl, 0.5)
+        pool_before = ftl.free_rows(0)
+        ftl.write(0, KB4)
+        sim.run_until_idle()
+        # consumed one row, erased and returned the old one
+        assert ftl.free_rows(0) == pool_before
+        ftl.check_consistency()
+
+    def test_partial_page_overwrite_merge_reads(self):
+        sim, ftl = make_ftl()
+        prefill_stripe_ftl(ftl, 1.0)
+        ftl.write(512, 1024)  # sub-page write
+        sim.run_until_idle()
+        # the partially-covered page is read for merge, the rest survive
+        assert ftl.stats.rmw_pages_read == ftl.pages_per_stripe
+        ftl.check_consistency()
+
+
+class TestReads:
+    def test_read_written_data(self):
+        sim, ftl = make_ftl()
+        ftl.write(0, 4 * KB4)
+        sim.run_until_idle()
+        before = sum(el.pages_read for el in ftl.elements)
+        ftl.read(0, 4 * KB4)
+        sim.run_until_idle()
+        assert sum(el.pages_read for el in ftl.elements) - before == 4
+
+    def test_read_of_hole_skips_flash(self):
+        sim, ftl = make_ftl()
+        ftl.write(0, KB4)  # page 0 only
+        sim.run_until_idle()
+        before = sum(el.pages_read for el in ftl.elements)
+        ftl.read(4 * KB4, KB4)  # untouched page of the same stripe
+        sim.run_until_idle()
+        assert sum(el.pages_read for el in ftl.elements) == before
+
+    def test_read_completes_once(self):
+        sim, ftl = make_ftl()
+        ftl.write(0, 8 * KB4)
+        sim.run_until_idle()
+        fired = []
+        ftl.read(0, 8 * KB4, done=fired.append)
+        sim.run_until_idle()
+        assert len(fired) == 1
+
+
+class TestTrim:
+    def test_full_stripe_trim_unmaps_and_recycles(self):
+        sim, ftl = make_ftl()
+        prefill_stripe_ftl(ftl, 0.5)
+        pool_before = ftl.free_rows(0)
+        ftl.trim(0, ftl.stripe_bytes)
+        sim.run_until_idle()
+        assert ftl.mapped_row(0) == -1
+        assert ftl.free_rows(0) == pool_before + 1
+        ftl.check_consistency()
+
+    def test_partial_trim_invalidates_covered_pages(self):
+        sim, ftl = make_ftl()
+        prefill_stripe_ftl(ftl, 0.5)
+        row = ftl.mapped_row(0)
+        ftl.trim(0, 2 * KB4)
+        sim.run_until_idle()
+        assert ftl.mapped_row(0) == row  # still mapped
+        el, local = ftl._element(0, 0)
+        assert el.page_state[row, local] == PageState.INVALID
+        ftl.check_consistency()
+
+    def test_trimmed_pages_counted(self):
+        sim, ftl = make_ftl()
+        prefill_stripe_ftl(ftl, 0.5)
+        ftl.trim(0, ftl.stripe_bytes)
+        sim.run_until_idle()
+        assert ftl.stats.trimmed_pages == ftl.pages_per_stripe
+
+
+class TestBackpressure:
+    def test_can_accept_reflects_pool(self):
+        _sim, ftl = make_ftl()
+        assert ftl.can_accept_write(0, KB4)
+        ftl._pool[0] = ftl._pool[0][: ftl.reserve_rows]
+        assert not ftl.can_accept_write(0, KB4)
+
+    def test_elements_for_range_covers_gang(self):
+        _sim, ftl = make_ftl(n_elements=4, gang_size=2)
+        elements = ftl.elements_for_range(0, KB4)
+        assert elements == [0, 1]
+        elements = ftl.elements_for_range(ftl.stripe_bytes, KB4)
+        assert elements == [2, 3]
+
+
+class TestChurnConsistency:
+    def test_random_churn_keeps_invariants(self):
+        import random
+
+        sim, ftl = make_ftl(n_elements=2, gang_size=2, blocks=32, pages=4)
+        prefill_stripe_ftl(ftl, 0.6)
+        rng = random.Random(3)
+        capacity = ftl.logical_capacity_bytes
+        for _ in range(150):
+            offset = rng.randrange(capacity // KB4) * KB4
+            size = rng.choice([KB4, 2 * KB4, 8 * KB4])
+            size = min(size, capacity - offset)
+            action = rng.random()
+            if action < 0.6:
+                ftl.write(offset, size)
+            elif action < 0.85:
+                ftl.read(offset, size)
+            else:
+                ftl.trim(offset, size)
+            sim.run_until_idle()
+        ftl.check_consistency()

@@ -1,0 +1,125 @@
+"""Tests for device presets and the bench harness infrastructure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import ExperimentResult, format_table
+from repro.device.interface import OpType
+from repro.device.presets import (
+    PRESET_BUILDERS,
+    hdd_barracuda,
+    mems_store,
+    s1slc,
+    s2slc,
+    s3slc,
+    s4slc_sim,
+    s5mlc,
+    table3_gang_ssd,
+    tiered_slc_mlc,
+)
+from repro.ftl.blockmap import BlockMappedFTL
+from repro.ftl.pagemap import PageMappedFTL
+from repro.sim.engine import Simulator
+from repro.units import KIB, MIB
+from tests.conftest import run_io
+
+
+class TestPresets:
+    def test_all_presets_build_and_serve_io(self, sim):
+        for name, builder in PRESET_BUILDERS.items():
+            local = Simulator()
+            device = builder(local)
+            completion = run_io(local, device, OpType.WRITE, 0, 4 * KIB)
+            assert completion.response_us > 0, name
+
+    def test_s2_is_blockmapped_with_1mb_stripe(self, sim):
+        device = s2slc(sim)
+        assert isinstance(device.ftl, BlockMappedFTL)
+        assert device.ftl.stripe_bytes == MIB
+
+    def test_s4_is_pagemapped(self, sim):
+        assert isinstance(s4slc_sim(sim).ftl, PageMappedFTL)
+
+    def test_s5_uses_mlc_timing(self, sim):
+        device = s5mlc(sim)
+        assert device.elements[0].timing.erase_cycles == 10_000
+
+    def test_s1_has_writeback_cache(self, sim):
+        device = s1slc(sim)
+        assert getattr(device.write_buffer, "ack", None) == "insert"
+
+    def test_s3_has_16mb_cache(self, sim):
+        device = s3slc(sim)
+        assert device.write_buffer.capacity_bytes == 16 * MIB
+
+    def test_gang_ssd_logical_page(self, sim):
+        device = table3_gang_ssd(sim)
+        assert device.ftl.logical_page_bytes == 32 * KIB
+        assert device.ftl.shards == 8
+
+    def test_gang_ssd_aligned_uses_queue_merge(self, sim):
+        from repro.device.write_buffer import QueueMergingBuffer
+
+        device = table3_gang_ssd(sim, aligned=True)
+        assert isinstance(device.write_buffer, QueueMergingBuffer)
+
+    def test_tiered_capacity_split(self, sim):
+        device = tiered_slc_mlc(sim)
+        assert 0 < device.tier_boundary < device.capacity_bytes
+
+    def test_hdd_preset_capacity(self, sim):
+        device = hdd_barracuda(sim, capacity_bytes=1 << 30)
+        assert abs(device.capacity_bytes - (1 << 30)) / (1 << 30) < 0.05
+
+    def test_mems_preset(self, sim):
+        device = mems_store(sim)
+        assert device.capacity_bytes > 0
+
+    def test_preset_overrides(self, sim):
+        device = s4slc_sim(sim, scheduler="swtf", max_inflight=7)
+        assert device.scheduler.name == "swtf"
+        assert device.config.max_inflight == 7
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Num"], [["x", 1.5], ["yy", 22.25]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.50" in text
+        assert "22.25" in text
+
+    def test_format_empty(self):
+        text = format_table(["A"], [])
+        assert "A" in text
+
+    def test_experiment_result_accessors(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t", headers=["K", "V"],
+            rows=[["a", 1], ["b", 2]],
+        )
+        assert result.column("V") == [1, 2]
+        assert result.row_by("K", "b") == ["b", 2]
+        with pytest.raises(KeyError):
+            result.row_by("K", "missing")
+        assert "[x] t" in result.render()
+
+
+class TestCliRegistry:
+    def test_every_experiment_importable(self):
+        import importlib
+
+        from repro.bench.cli import EXPERIMENTS
+
+        for name, module_path in EXPERIMENTS.items():
+            module = importlib.import_module(module_path)
+            assert hasattr(module, "run"), name
+
+    def test_cli_list(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out

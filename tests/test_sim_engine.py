@@ -1,0 +1,128 @@
+"""Unit tests for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30.0, order.append, "c")
+    sim.schedule(10.0, order.append, "a")
+    sim.schedule(20.0, order.append, "b")
+    sim.run_until_idle()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30.0
+
+
+def test_same_time_events_run_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.schedule(5.0, order.append, label)
+    sim.run_until_idle()
+    assert order == list("abcde")
+
+
+def test_zero_delay_event_runs_after_current_same_time_events():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.0, order.append, "child")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, order.append, "second")
+    sim.run_until_idle()
+    assert order == ["first", "second", "child"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run_until_idle()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10.0, fired.append, True)
+    sim.cancel(event)
+    sim.run_until_idle()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.cancel(event)
+    sim.cancel(event)
+    assert sim.run_until_idle() == 0
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, seen.append, 1)
+    sim.schedule(15.0, seen.append, 2)
+    ran = sim.run(until_us=10.0)
+    assert ran == 1
+    assert seen == [1]
+    assert sim.now == 10.0
+    sim.run_until_idle()
+    assert seen == [1, 2]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    for _ in range(10):
+        sim.schedule(1.0, lambda: None)
+    assert sim.run(max_events=3) == 3
+    assert sim.pending == 7
+
+
+def test_callback_scheduling_during_run():
+    sim = Simulator()
+    times = []
+
+    def chain(depth: int):
+        times.append(sim.now)
+        if depth > 0:
+            sim.schedule(2.0, chain, depth - 1)
+
+    sim.schedule(1.0, chain, 3)
+    sim.run_until_idle()
+    assert times == [1.0, 3.0, 5.0, 7.0]
+
+
+def test_events_run_counter():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1.0, lambda: None)
+    sim.run_until_idle()
+    assert sim.events_run == 4
+
+
+def test_pending_excludes_cancelled():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    sim.cancel(drop)
+    assert sim.pending == 1
+    assert keep.alive
