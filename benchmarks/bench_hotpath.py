@@ -1,0 +1,261 @@
+"""Hot-path microbenchmarks for the simulation core.
+
+Three deterministic closed-loop scenarios drive a page-mapped FTL directly
+(no host link / scheduler in the way) so the measured cost is the command
+execution fast path itself — `FlashOp` issue, element FIFO, event loop,
+completion joining, allocation, and cleaning:
+
+* ``pure_write``      — random 4 KB overwrite churn (programs + steady GC)
+* ``mixed_rw``        — 50/50 random 4 KB reads and writes
+* ``cleaning_heavy``  — aged, nearly-full device where cleaning dominates
+
+Each scenario reports host ops/sec and simulator events/sec (wall time),
+plus a behaviour *fingerprint* (final simulated clock, op counts, FTL
+stats) that must not move when the implementation gets faster.
+
+Run standalone to (re)record ``BENCH_CORE.json``::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --record current
+
+or under pytest (wall-time measured via the ``benchmark`` fixture, real or
+the fallback in ``benchmarks/conftest.py``).  ``REPRO_BENCH_FAST=1``
+shrinks geometry and IO counts to CI size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:  # standalone `python benchmarks/...` runs
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.flash.element import FlashElement
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.ftl.pagemap import PageMappedFTL
+from repro.ftl.prefill import prefill_pagemap
+from repro.sim.engine import Simulator
+
+BENCH_CORE = _ROOT / "BENCH_CORE.json"
+
+#: IO counts per scenario at scale=1.0
+_BASE_OPS = {
+    "pure_write": 30_000,
+    "mixed_rw": 30_000,
+    "cleaning_heavy": 12_000,
+}
+
+
+def _make_ftl(blocks: int, sim: Optional[Simulator] = None):
+    sim = sim if sim is not None else Simulator()
+    geom = FlashGeometry(page_bytes=4096, pages_per_block=64,
+                         blocks_per_element=blocks)
+    elements = [
+        FlashElement(sim, geom, FlashTiming.slc(), element_id=i)
+        for i in range(4)
+    ]
+    ftl = PageMappedFTL(sim, elements, spare_fraction=0.15)
+    return sim, ftl
+
+
+class _ClosedLoop:
+    """Keep ``depth`` FTL requests outstanding until ``count`` complete."""
+
+    def __init__(self, sim: Simulator, ftl: PageMappedFTL, count: int,
+                 depth: int, next_io: Callable[[int], tuple]) -> None:
+        self.sim = sim
+        self.ftl = ftl
+        self.count = count
+        self.depth = depth
+        self.next_io = next_io
+        self._issued = 0
+
+    def run(self) -> None:
+        for _ in range(min(self.depth, self.count)):
+            self._issue()
+        self.sim.run_until_idle()
+
+    def _issue(self) -> None:
+        kind, offset, size = self.next_io(self._issued)
+        self._issued += 1
+        if kind == "w":
+            self.ftl.write(offset, size, done=self._done)
+        else:
+            self.ftl.read(offset, size, done=self._done)
+
+    def _done(self, now: float) -> None:
+        if self._issued < self.count:
+            self._issue()
+
+
+def _fingerprint(sim: Simulator, ftl: PageMappedFTL) -> Dict[str, float]:
+    stats = ftl.stats
+    return {
+        "final_clock_us": round(sim.now, 6),
+        "host_writes": stats.host_writes,
+        "host_reads": stats.host_reads,
+        "flash_pages_programmed": stats.flash_pages_programmed,
+        "clean_pages_moved": stats.clean_pages_moved,
+        "clean_erases": stats.clean_erases,
+        "clean_time_us": round(stats.clean_time_us, 6),
+    }
+
+
+def _measure(build: Callable[[], tuple]) -> Dict[str, float]:
+    sim, ftl, loop = build()
+    start = time.perf_counter()
+    loop.run()
+    wall_s = time.perf_counter() - start
+    ftl.check_consistency()
+    out = {
+        "ops": loop.count,
+        "events": sim.events_run,
+        "wall_s": round(wall_s, 4),
+        "ops_per_s": round(loop.count / wall_s, 1),
+        "events_per_s": round(sim.events_run / wall_s, 1),
+    }
+    out.update(_fingerprint(sim, ftl))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+def _scenario_pure_write(scale: float):
+    count = max(1000, int(_BASE_OPS["pure_write"] * scale))
+    sim, ftl = _make_ftl(blocks=256)
+    region_pages = int(ftl.user_logical_pages * 0.6)
+    rng = random.Random(1234)
+
+    def next_io(i: int) -> tuple:
+        return "w", rng.randrange(region_pages) * 4096, 4096
+
+    return sim, ftl, _ClosedLoop(sim, ftl, count, depth=8, next_io=next_io)
+
+
+def _scenario_mixed_rw(scale: float):
+    count = max(1000, int(_BASE_OPS["mixed_rw"] * scale))
+    sim, ftl = _make_ftl(blocks=256)
+    region_pages = int(ftl.user_logical_pages * 0.6)
+    rng = random.Random(5678)
+    # seed the region so reads hit mapped pages
+    prefill_pagemap(ftl, fill_fraction=0.6)
+
+    def next_io(i: int) -> tuple:
+        offset = rng.randrange(region_pages) * 4096
+        return ("w" if rng.random() < 0.5 else "r"), offset, 4096
+
+    return sim, ftl, _ClosedLoop(sim, ftl, count, depth=8, next_io=next_io)
+
+
+def _scenario_cleaning_heavy(scale: float):
+    count = max(1000, int(_BASE_OPS["cleaning_heavy"] * scale))
+    sim, ftl = _make_ftl(blocks=192)
+    prefill_pagemap(ftl, fill_fraction=0.92, overwrite_fraction=0.4,
+                    rng=random.Random(77))
+    region_pages = int(ftl.user_logical_pages * 0.9)
+    rng = random.Random(4242)
+
+    def next_io(i: int) -> tuple:
+        return "w", rng.randrange(region_pages) * 4096, 4096
+
+    return sim, ftl, _ClosedLoop(sim, ftl, count, depth=8, next_io=next_io)
+
+
+SCENARIOS: Dict[str, Callable[[float], tuple]] = {
+    "pure_write": _scenario_pure_write,
+    "mixed_rw": _scenario_mixed_rw,
+    "cleaning_heavy": _scenario_cleaning_heavy,
+}
+
+
+def run_scenario(name: str, scale: float = 1.0, repeat: int = 1) -> Dict[str, float]:
+    """Run one scenario ``repeat`` times and keep the fastest wall time
+    (fingerprints are identical across repeats — the workload is
+    deterministic — so best-of-N only de-noises the machine)."""
+    best = None
+    for _ in range(max(1, repeat)):
+        result = _measure(lambda: SCENARIOS[name](scale))
+        if best is None or result["wall_s"] < best["wall_s"]:
+            best = result
+    return best
+
+
+def run_all(scale: float = 1.0, repeat: int = 1) -> Dict[str, Dict[str, float]]:
+    return {name: run_scenario(name, scale, repeat) for name in SCENARIOS}
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (wall time via the benchmark fixture; fingerprints
+# asserted so a "fast but wrong" regression cannot slip through)
+# ---------------------------------------------------------------------------
+
+def _bench(benchmark, name: str):
+    from benchmarks.conftest import BENCH_OPTIONS, bench_scale
+
+    result = benchmark.pedantic(
+        run_scenario, args=(name,), kwargs=dict(scale=bench_scale()),
+        **BENCH_OPTIONS,
+    )
+    assert result["ops"] >= 1000
+    assert result["final_clock_us"] > 0
+    return result
+
+
+def test_hotpath_pure_write(benchmark):
+    _bench(benchmark, "pure_write")
+
+
+def test_hotpath_mixed_rw(benchmark):
+    _bench(benchmark, "mixed_rw")
+
+
+def test_hotpath_cleaning_heavy(benchmark):
+    result = _bench(benchmark, "cleaning_heavy")
+    assert result["clean_erases"] > 0  # scenario must actually clean
+
+
+# ---------------------------------------------------------------------------
+# standalone recording
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--record", choices=("baseline", "current"),
+                        help="write results into BENCH_CORE.json under this key")
+    parser.add_argument("--label", default="",
+                        help="free-form label stored with the recorded run")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="repetitions per scenario; fastest wall kept")
+    args = parser.parse_args(argv)
+
+    results = run_all(args.scale, args.repeat)
+    for name, row in results.items():
+        print(f"{name:16s} {row['ops_per_s']:>10.0f} ops/s "
+              f"{row['events_per_s']:>12.0f} events/s  "
+              f"wall={row['wall_s']:.3f}s clock={row['final_clock_us']:.0f}us")
+
+    if args.record:
+        doc = {}
+        if BENCH_CORE.exists():
+            doc = json.loads(BENCH_CORE.read_text())
+        doc.setdefault("meta", {})["scale"] = args.scale
+        doc["meta"]["scenarios"] = list(SCENARIOS)
+        entry = {"label": args.label, "results": results}
+        doc[args.record] = entry
+        BENCH_CORE.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"recorded '{args.record}' in {BENCH_CORE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

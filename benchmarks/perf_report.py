@@ -1,0 +1,106 @@
+"""Perf trajectory gate: compare a fresh hotpath run to BENCH_CORE.json.
+
+Re-runs the deterministic hotpath scenarios and prints a table against the
+committed ``current`` entry of ``BENCH_CORE.json`` (the numbers the last
+perf PR achieved).  Exits nonzero when:
+
+* throughput regressed more than ``--threshold`` (default 20%) on any
+  scenario, or
+* the behaviour fingerprint (final simulated clock, op counts, FTL stats)
+  diverged — a "fast but wrong" change is a regression too.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf_report [--repeat 3]
+    PYTHONPATH=src python benchmarks/perf_report.py --threshold 0.1
+
+Intended as an optional CI step and as the measurement tool future perf
+PRs quote in CHANGES.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:  # standalone `python benchmarks/...` runs
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from benchmarks.bench_hotpath import BENCH_CORE, run_all
+
+#: metrics gated on regression (higher is better)
+_METRICS = ("ops_per_s", "events_per_s")
+#: fingerprint fields that must match exactly
+_FINGERPRINT = (
+    "final_clock_us", "host_writes", "host_reads", "flash_pages_programmed",
+    "clean_pages_moved", "clean_erases", "clean_time_us", "ops", "events",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional throughput drop (default 0.20)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the recorded scenario scale")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per scenario; fastest wall kept "
+                             "(default 3 — de-noises shared machines)")
+    args = parser.parse_args(argv)
+
+    if not BENCH_CORE.exists():
+        print(f"error: {BENCH_CORE} not found — record it first with "
+              "`python benchmarks/bench_hotpath.py --record current`")
+        return 2
+    doc = json.loads(BENCH_CORE.read_text())
+    committed = doc.get("current", {}).get("results")
+    if not committed:
+        print("error: BENCH_CORE.json has no 'current' entry to compare against")
+        return 2
+    scale = args.scale if args.scale is not None else doc.get("meta", {}).get("scale", 1.0)
+
+    fresh = run_all(scale, args.repeat)
+
+    failures = []
+    header = f"{'scenario':16s} {'metric':12s} {'committed':>12s} {'now':>12s} {'delta':>8s}"
+    print(header)
+    print("-" * len(header))
+    for name, now in fresh.items():
+        ref = committed.get(name)
+        if ref is None:
+            print(f"{name:16s} (new scenario, no committed reference)")
+            continue
+        for metric in _METRICS:
+            before, after = ref[metric], now[metric]
+            delta = (after - before) / before if before else 0.0
+            flag = ""
+            if delta < -args.threshold:
+                flag = "  << REGRESSION"
+                failures.append(f"{name}.{metric} dropped {-delta:.0%} "
+                                f"({before:.0f} -> {after:.0f})")
+            print(f"{name:16s} {metric:12s} {before:12.0f} {after:12.0f} "
+                  f"{delta:+7.1%}{flag}")
+        if abs(scale - doc.get("meta", {}).get("scale", 1.0)) < 1e-12:
+            for field in _FINGERPRINT:
+                if now.get(field) != ref.get(field):
+                    failures.append(
+                        f"{name}.{field} fingerprint diverged: "
+                        f"{ref.get(field)!r} -> {now.get(field)!r} "
+                        "(simulated behaviour changed!)"
+                    )
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nOK: within {args.threshold:.0%} of the committed baseline, "
+          "fingerprints identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

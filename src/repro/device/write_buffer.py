@@ -27,7 +27,8 @@ retry when cleaning frees space.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.device.interface import IORequest
 from repro.sim.engine import Event, Simulator
@@ -180,8 +181,9 @@ class AligningWriteBuffer:
         self._pages: Dict[int, List[_Run]] = {}
         self._timers: Dict[int, Event] = {}
         self._insert_order: List[int] = []
-        #: pages flushed but awaiting FTL admission
-        self._drain_queue: List[Tuple[int, _Run]] = []
+        #: pages flushed but awaiting FTL admission (FIFO; deque keeps the
+        #: backpressured drain path O(1) per run)
+        self._drain_queue: Deque[Tuple[int, _Run]] = deque()
         #: id(request) -> [request, pages-not-yet-flushed]
         self._pending: Dict[int, list] = {}
         self.buffered_bytes = 0
@@ -289,7 +291,7 @@ class AligningWriteBuffer:
             if not self.ftl.can_accept_write(base + run.start, run.end - run.start):
                 self.ftl.ensure_space(base + run.start, run.end - run.start)
                 return  # retried via on_space_freed
-            self._drain_queue.pop(0)
+            self._drain_queue.popleft()
             self.ftl.write(
                 base + run.start,
                 run.end - run.start,

@@ -8,6 +8,13 @@ The element plays two roles:
    clock.  ``queue_wait_us()`` exposes the estimated wait, which is exactly
    the quantity the paper's SWTF scheduler (§3.2) ranks requests by.
 
+   The executor is built for throughput: the FIFO is a ``deque`` (O(1) at
+   both ends), completions are realized by a single reusable *drain* event
+   per element (no per-op Event allocation), ops are recycled through a
+   per-element free list, durations come from a memoized per-(kind, size)
+   cache, and per-tag busy accounting uses accumulator cells bound at
+   enqueue time instead of dict updates per completion.
+
 2. **Physical page state machine.**  Every physical page is FREE → VALID →
    INVALID → (erase) → FREE.  State transitions are *synchronous* — the FTL
    updates them at command issue so that back-to-back commands in the queue
@@ -15,19 +22,23 @@ The element plays two roles:
    a non-free page, no double-invalidate, erase resets the block).
 
 State is held in numpy arrays so multi-GB devices stay compact and warm-up
-(:mod:`repro.ftl.prefill`) can bulk-initialize.
+(:mod:`repro.ftl.prefill`) can bulk-initialize.  Hot scalar accesses go
+through memoryviews over the same buffers — plain-int reads without numpy
+scalar boxing — so bulk operations stay vectorized while the per-op path
+stays cheap.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.flash.geometry import FlashGeometry
-from repro.flash.ops import FlashOp, OpKind
+from repro.flash.ops import FlashOp, OpKind, TAG_CLEAN, TAG_HOST
 from repro.flash.timing import FlashTiming
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 
 __all__ = ["PageState", "FlashElement", "FlashStateError"]
 
@@ -78,15 +89,37 @@ class FlashElement:
         #: blocks retired after exceeding rated erase cycles
         self.retired = np.zeros(blocks, dtype=bool)
 
+        # memoryviews over the arrays above: scalar reads/writes without
+        # numpy boxing; bulk/vectorized users keep the numpy handles
+        self._ps = memoryview(self.page_state)
+        self._rl = memoryview(self.reverse_lpn)
+        self._vc = memoryview(self.valid_count)
+        self._wp = memoryview(self.write_ptr)
+        self._ec = memoryview(self.erase_count)
+        self._mt = memoryview(self.block_mtime)
+        self._rt = memoryview(self.retired)
+
         # timed-executor state
-        self._queue: List[FlashOp] = []
+        self._queue: deque[FlashOp] = deque()
         self._inflight: Optional[FlashOp] = None
         self._inflight_done_at: float = 0.0
         self._queued_us: float = 0.0  # total duration of queued (not inflight) ops
+        #: recycled FlashOp instances (slab; see module docstring of ops)
+        self._op_pool: list[FlashOp] = []
+        #: the one drain event realizing this element's FIFO on the clock
+        self._drain = Event(0.0, -1, self._on_drain, ())
+        self._drain.alive = False
 
-        # accounting
-        self.busy_us_by_tag: dict[str, float] = {}
-        self.ops_by_tag: dict[str, int] = {}
+        # per-page-command durations for the overwhelmingly common sizes
+        page_bytes = geometry.page_bytes
+        self._page_bytes = page_bytes
+        self._page_read_us = timing.duration_us(OpKind.READ, page_bytes)
+        self._page_program_us = timing.duration_us(OpKind.PROGRAM, page_bytes)
+        self._erase_cmd_us = timing.duration_us(OpKind.ERASE, 0)
+        self._page_copy_us = timing.duration_us(OpKind.COPY, page_bytes)
+
+        # accounting: tag -> [busy_us, op_count]; ops hold their cell
+        self._accum: dict[str, list] = {}
         self.erases_performed = 0
         self.pages_programmed = 0
         self.pages_read = 0
@@ -105,29 +138,82 @@ class FlashElement:
 
     def enqueue(self, op: FlashOp) -> None:
         """Queue a command for serial execution on this element."""
-        op.duration_us = op.compute_duration(self.timing)
+        op.duration_us = self.timing.duration_us(op.kind, op.nbytes)
+        self._submit(op)
+
+    def _submit(self, op: FlashOp) -> None:
+        accum = self._accum
+        acc = accum.get(op.tag)
+        if acc is None:
+            acc = accum[op.tag] = [0.0, 0]
+        op.acc = acc
         if self._inflight is None:
-            self._start(op)
+            self._inflight = op
+            done_at = self.sim.now + op.duration_us
+            self._inflight_done_at = done_at
+            self.sim.reschedule(self._drain, done_at)
         else:
             self._queue.append(op)
             self._queued_us += op.duration_us
 
-    def _start(self, op: FlashOp) -> None:
-        self._inflight = op
-        self._inflight_done_at = self.sim.now + op.duration_us
-        self.sim.schedule(op.duration_us, self._complete, op)
+    def _issue(self, kind: OpKind, nbytes: int, tag: str,
+               callback: Optional[Callable[[float], None]],
+               duration_us: float) -> None:
+        """Issue an internally-built (recyclable) op; hot path.
 
-    def _complete(self, op: FlashOp) -> None:
-        self.busy_us_by_tag[op.tag] = self.busy_us_by_tag.get(op.tag, 0.0) + op.duration_us
-        self.ops_by_tag[op.tag] = self.ops_by_tag.get(op.tag, 0) + 1
-        self._inflight = None
-        if self._queue:
-            nxt = self._queue.pop(0)
+        Body mirrors :meth:`_submit` with the slab acquire fused in — this
+        runs once per flash command, so the extra call layer is worth
+        eliding.
+        """
+        pool = self._op_pool
+        if pool:
+            op = pool.pop()
+            op.kind = kind
+            op.nbytes = nbytes
+            op.tag = tag
+            op.callback = callback
+            op.duration_us = duration_us
+        else:
+            op = FlashOp(kind, nbytes, tag, callback, duration_us)
+            op._pooled = True
+        accum = self._accum
+        acc = accum.get(tag)
+        if acc is None:
+            acc = accum[tag] = [0.0, 0]
+        op.acc = acc
+        if self._inflight is None:
+            self._inflight = op
+            done_at = self.sim.now + duration_us
+            self._inflight_done_at = done_at
+            self.sim.reschedule(self._drain, done_at)
+        else:
+            self._queue.append(op)
+            self._queued_us += duration_us
+
+    def _on_drain(self) -> None:
+        """The in-flight command finished: account, start the next, notify."""
+        op = self._inflight
+        acc = op.acc
+        acc[0] += op.duration_us
+        acc[1] += 1
+        queue = self._queue
+        if queue:
+            nxt = queue.popleft()
             self._queued_us -= nxt.duration_us
-            self._start(nxt)
-        if op.callback is not None:
-            op.callback(self.sim.now)
-        if self._inflight is None and not self._queue and self.on_idle is not None:
+            self._inflight = nxt
+            done_at = self.sim.now + nxt.duration_us
+            self._inflight_done_at = done_at
+            self.sim.reschedule(self._drain, done_at)
+        else:
+            self._inflight = None
+        callback = op.callback
+        if op._pooled:
+            op.callback = None
+            op.acc = None
+            self._op_pool.append(op)
+        if callback is not None:
+            callback(self.sim.now)
+        if self._inflight is None and not queue and self.on_idle is not None:
             self.on_idle()
 
     @property
@@ -149,14 +235,27 @@ class FlashElement:
         """
         wait = self._queued_us
         if self._inflight is not None:
-            wait += max(0.0, self._inflight_done_at - self.sim.now)
+            remaining = self._inflight_done_at - self.sim.now
+            if remaining > 0.0:
+                wait += remaining
         return wait
+
+    @property
+    def busy_us_by_tag(self) -> dict[str, float]:
+        """Busy time per accounting tag (snapshot view of the accumulators)."""
+        return {tag: acc[0] for tag, acc in self._accum.items()}
+
+    @property
+    def ops_by_tag(self) -> dict[str, int]:
+        """Completed op count per accounting tag."""
+        return {tag: acc[1] for tag, acc in self._accum.items()}
 
     def busy_us(self, tag: Optional[str] = None) -> float:
         """Total busy time, optionally restricted to one accounting tag."""
         if tag is not None:
-            return self.busy_us_by_tag.get(tag, 0.0)
-        return sum(self.busy_us_by_tag.values())
+            acc = self._accum.get(tag)
+            return acc[0] if acc is not None else 0.0
+        return sum(acc[0] for acc in self._accum.values())
 
     # ------------------------------------------------------------------
     # physical state transitions (synchronous; called by the FTL at issue)
@@ -167,53 +266,55 @@ class FlashElement:
 
         Enforces NAND in-order programming within a block.
         """
-        if self.page_state[block, page] != PageState.FREE:
+        if self._ps[block, page] != PageState.FREE:
             raise FlashStateError(
                 f"element {self.element_id}: program of non-free page "
                 f"({block}, {page}) state={self.page_state[block, page]}"
             )
-        if self.strict_program_order and page != self.write_ptr[block]:
+        write_ptr = self._wp[block]
+        if self.strict_program_order and page != write_ptr:
             raise FlashStateError(
                 f"element {self.element_id}: out-of-order program of page {page} "
                 f"in block {block} (write_ptr={self.write_ptr[block]})"
             )
-        self.page_state[block, page] = PageState.VALID
-        self.reverse_lpn[block, page] = lpn
-        self.valid_count[block] += 1
-        if page >= self.write_ptr[block]:
-            self.write_ptr[block] = page + 1
-        self.block_mtime[block] = self.sim.now
+        self._ps[block, page] = PageState.VALID
+        self._rl[block, page] = lpn
+        self._vc[block] += 1
+        if page >= write_ptr:
+            self._wp[block] = page + 1
+        self._mt[block] = self.sim.now
         self.pages_programmed += 1
 
     def invalidate_state(self, block: int, page: int) -> None:
         """Mark a previously valid page invalid (its data was superseded)."""
-        if self.page_state[block, page] != PageState.VALID:
+        if self._ps[block, page] != PageState.VALID:
             raise FlashStateError(
                 f"element {self.element_id}: invalidate of non-valid page "
                 f"({block}, {page}) state={self.page_state[block, page]}"
             )
-        self.page_state[block, page] = PageState.INVALID
-        self.reverse_lpn[block, page] = -1
-        self.valid_count[block] -= 1
+        self._ps[block, page] = PageState.INVALID
+        self._rl[block, page] = -1
+        self._vc[block] -= 1
 
     def erase_state(self, block: int) -> None:
         """Reset a block to all-free and charge one erase cycle."""
-        if self.valid_count[block] != 0:
+        if self._vc[block] != 0:
             raise FlashStateError(
                 f"element {self.element_id}: erase of block {block} with "
                 f"{self.valid_count[block]} valid pages"
             )
         self.page_state[block, :] = PageState.FREE
         self.reverse_lpn[block, :] = -1
-        self.write_ptr[block] = 0
-        self.erase_count[block] += 1
+        self._wp[block] = 0
+        count = self._ec[block] + 1
+        self._ec[block] = count
         self.erases_performed += 1
-        if self.erase_count[block] >= self.timing.erase_cycles:
-            self.retired[block] = True
+        if count >= self.timing.erase_cycles:
+            self._rt[block] = True
 
     def read_state_check(self, block: int, page: int) -> None:
         """Sanity check that a read targets a valid page."""
-        if self.page_state[block, page] != PageState.VALID:
+        if self._ps[block, page] != PageState.VALID:
             raise FlashStateError(
                 f"element {self.element_id}: read of non-valid page "
                 f"({block}, {page}) state={self.page_state[block, page]}"
@@ -228,13 +329,18 @@ class FlashElement:
         block: int,
         page: int,
         nbytes: Optional[int] = None,
-        tag: str = "host",
+        tag: str = TAG_HOST,
         callback: Optional[Callable[[float], None]] = None,
     ) -> None:
-        self.read_state_check(block, page)
-        size = self.geometry.page_bytes if nbytes is None else nbytes
+        if self._ps[block, page] != PageState.VALID:
+            self.read_state_check(block, page)  # raises with full detail
         self.pages_read += 1
-        self.enqueue(FlashOp(OpKind.READ, nbytes=size, tag=tag, callback=callback))
+        if nbytes is None or nbytes == self._page_bytes:
+            self._issue(OpKind.READ, self._page_bytes, tag, callback,
+                        self._page_read_us)
+        else:
+            self._issue(OpKind.READ, nbytes, tag, callback,
+                        self.timing.duration_us(OpKind.READ, nbytes))
 
     def program_page(
         self,
@@ -242,21 +348,40 @@ class FlashElement:
         page: int,
         lpn: int,
         nbytes: Optional[int] = None,
-        tag: str = "host",
+        tag: str = TAG_HOST,
         callback: Optional[Callable[[float], None]] = None,
     ) -> None:
-        self.program_state(block, page, lpn)
-        size = self.geometry.page_bytes if nbytes is None else nbytes
-        self.enqueue(FlashOp(OpKind.PROGRAM, nbytes=size, tag=tag, callback=callback))
+        # state transition inlined from program_state (one call per host
+        # write; the checks are identical)
+        ps = self._ps
+        if ps[block, page] != 0:  # PageState.FREE
+            self.program_state(block, page, lpn)  # raises with full detail
+        wp = self._wp
+        write_ptr = wp[block]
+        if self.strict_program_order and page != write_ptr:
+            self.program_state(block, page, lpn)  # raises with full detail
+        ps[block, page] = 1  # PageState.VALID
+        self._rl[block, page] = lpn
+        self._vc[block] += 1
+        if page >= write_ptr:
+            wp[block] = page + 1
+        self._mt[block] = self.sim.now
+        self.pages_programmed += 1
+        if nbytes is None or nbytes == self._page_bytes:
+            self._issue(OpKind.PROGRAM, self._page_bytes, tag, callback,
+                        self._page_program_us)
+        else:
+            self._issue(OpKind.PROGRAM, nbytes, tag, callback,
+                        self.timing.duration_us(OpKind.PROGRAM, nbytes))
 
     def erase_block(
         self,
         block: int,
-        tag: str = "clean",
+        tag: str = TAG_CLEAN,
         callback: Optional[Callable[[float], None]] = None,
     ) -> None:
         self.erase_state(block)
-        self.enqueue(FlashOp(OpKind.ERASE, tag=tag, callback=callback))
+        self._issue(OpKind.ERASE, 0, tag, callback, self._erase_cmd_us)
 
     def copy_page(
         self,
@@ -265,27 +390,41 @@ class FlashElement:
         dst_block: int,
         dst_page: int,
         lpn: int,
-        tag: str = "clean",
+        tag: str = TAG_CLEAN,
         callback: Optional[Callable[[float], None]] = None,
     ) -> None:
         """Copy-back a valid page to a free page within this element."""
-        self.read_state_check(src_block, src_page)
-        self.invalidate_state(src_block, src_page)
-        self.program_state(dst_block, dst_page, lpn)
+        # transitions inlined from read_state_check + invalidate_state +
+        # program_state (cleaning-heavy runs do one copy per moved page)
+        ps = self._ps
+        if ps[src_block, src_page] != 1:  # PageState.VALID
+            self.read_state_check(src_block, src_page)  # raises
+        rl = self._rl
+        ps[src_block, src_page] = 2  # PageState.INVALID
+        rl[src_block, src_page] = -1
+        vc = self._vc
+        vc[src_block] -= 1
+        if ps[dst_block, dst_page] != 0:  # PageState.FREE
+            self.program_state(dst_block, dst_page, lpn)  # raises
+        wp = self._wp
+        write_ptr = wp[dst_block]
+        if self.strict_program_order and dst_page != write_ptr:
+            self.program_state(dst_block, dst_page, lpn)  # raises
+        ps[dst_block, dst_page] = 1  # PageState.VALID
+        rl[dst_block, dst_page] = lpn
+        vc[dst_block] += 1
+        if dst_page >= write_ptr:
+            wp[dst_block] = dst_page + 1
+        self._mt[dst_block] = self.sim.now
+        self.pages_programmed += 1
         self.pages_read += 1
-        self.enqueue(
-            FlashOp(
-                OpKind.COPY,
-                nbytes=self.geometry.page_bytes,
-                tag=tag,
-                callback=callback,
-            )
-        )
+        self._issue(OpKind.COPY, self._page_bytes, tag, callback,
+                    self._page_copy_us)
 
     # ------------------------------------------------------------------
 
     def free_pages_in_block(self, block: int) -> int:
-        return self.geometry.pages_per_block - int(self.write_ptr[block])
+        return self.geometry.pages_per_block - self._wp[block]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -5,12 +5,17 @@ issues a command (so later commands in the queue observe consistent
 mappings), and the element purely accounts for when the command finishes.
 Each op carries a ``tag`` that attributes its time to host I/O, cleaning, or
 wear-leveling — the accounting behind Tables 5 and 6.
+
+``FlashOp`` is deliberately a bare ``__slots__`` class, not a dataclass:
+millions of ops flow through a busy simulation, and the element recycles
+them through a per-element free list (see ``FlashElement``) so steady-state
+runs allocate approximately zero op objects.  Ops handed to ``enqueue`` by
+external callers are never recycled.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.flash.timing import FlashTiming
@@ -32,28 +37,40 @@ class OpKind(enum.Enum):
     COPY = "copy"
 
 
-@dataclass
 class FlashOp:
     """One flash command bound for a specific element.
 
     ``callback`` (if any) runs when the command completes, with the
-    completion time as its only argument.
+    completion time as its only argument.  ``duration_us`` is filled in by
+    the element when the op is enqueued; ``acc`` is the element's per-tag
+    ``[busy_us, op_count]`` accumulator, bound at enqueue so completion
+    needs no dict lookups.
     """
 
-    kind: OpKind
-    nbytes: int = 0
-    tag: str = TAG_HOST
-    callback: Optional[Callable[[float], None]] = None
-    #: filled in by the element when the op is enqueued
-    duration_us: float = field(default=0.0, repr=False)
+    __slots__ = ("kind", "nbytes", "tag", "callback", "duration_us", "acc",
+                 "_pooled")
+
+    def __init__(
+        self,
+        kind: OpKind,
+        nbytes: int = 0,
+        tag: str = TAG_HOST,
+        callback: Optional[Callable[[float], None]] = None,
+        duration_us: float = 0.0,
+    ) -> None:
+        self.kind = kind
+        self.nbytes = nbytes
+        self.tag = tag
+        self.callback = callback
+        self.duration_us = duration_us
+        self.acc = None
+        self._pooled = False
 
     def compute_duration(self, timing: FlashTiming) -> float:
-        if self.kind is OpKind.READ:
-            return timing.read_us(self.nbytes)
-        if self.kind is OpKind.PROGRAM:
-            return timing.program_us(self.nbytes)
-        if self.kind is OpKind.ERASE:
-            return timing.erase_us()
-        if self.kind is OpKind.COPY:
-            return timing.copy_us(self.nbytes)
-        raise ValueError(f"unknown op kind {self.kind!r}")
+        return timing.duration_us(self.kind, self.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlashOp(kind={self.kind!r}, nbytes={self.nbytes}, "
+            f"tag={self.tag!r}, callback={self.callback!r})"
+        )

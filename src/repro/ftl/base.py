@@ -22,7 +22,24 @@ from repro.flash.element import FlashElement
 from repro.flash.ops import TAG_HOST
 from repro.sim.engine import Simulator
 
-__all__ = ["FTLStats", "BaseFTL", "DeviceFullError", "CompletionJoin"]
+__all__ = [
+    "FTLStats", "BaseFTL", "DeviceFullError", "CompletionJoin",
+    "complete_async",
+]
+
+
+def complete_async(sim: Simulator, done: Optional[Callable[[float], None]]) -> None:
+    """Complete a request that needs no flash work.
+
+    Zero-flash-op requests (reads of never-written space, metadata no-ops)
+    still complete through a zero-delay event so callers never re-enter.
+    This is the join-free fast path for the zero-op case; the single-op
+    case needs no helper at all — the request's ``done`` rides directly on
+    the flash op as its completion callback (see ``PageMappedFTL.write``),
+    which is why the common 4 KB request allocates no ``CompletionJoin``.
+    """
+    if done is not None:
+        sim.schedule(0.0, done, sim.now)
 
 
 class DeviceFullError(RuntimeError):
@@ -71,7 +88,12 @@ class FTLStats:
 
 
 class CompletionJoin:
-    """Join N flash-command completions into one ``done(now)`` callback."""
+    """Join N flash-command completions into one ``done(now)`` callback.
+
+    Only multi-op requests need a join; hot single-op paths attach ``done``
+    straight to the flash op (see :func:`complete_async`), so a page-mapped
+    4 KB write allocates no join at all.
+    """
 
     __slots__ = ("_remaining", "_done", "_sim", "_fired")
 

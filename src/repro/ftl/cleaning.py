@@ -94,6 +94,26 @@ class Cleaner:
         self._paused: dict[int, tuple] = {}
         #: blocks mid-clean (copied out, erase not yet complete), per element
         self.being_cleaned: list[set[int]] = [set() for _ in range(n)]
+        #: continuation state for the pre-bound batch/erase callbacks below:
+        #: (victim, pages, start) and victim block, per element
+        self._batch_cont: list = [None] * n
+        self._erasing: list = [None] * n
+        # one callback object per element, created once — the per-batch /
+        # per-erase lambdas the seed allocated were a measurable share of
+        # cleaning-heavy runs
+        self._batch_cbs = [self._make_batch_cb(i) for i in range(n)]
+        self._erase_cbs = [self._make_erase_cb(i) for i in range(n)]
+
+    def _make_batch_cb(self, e_idx: int):
+        def batch_cb(now: float) -> None:
+            victim, pages, start = self._batch_cont[e_idx]
+            self._batch_done(e_idx, victim, pages, start)
+        return batch_cb
+
+    def _make_erase_cb(self, e_idx: int):
+        def erase_cb(now: float) -> None:
+            self._erase_done(e_idx, self._erasing[e_idx])
+        return erase_cb
 
     # ------------------------------------------------------------------
 
@@ -121,8 +141,12 @@ class Cleaner:
         if self._active[e_idx]:
             self._maybe_resume(e_idx, force)
             return
-        if not force and self.ftl.free_pages(e_idx) >= self.threshold_pages():
-            return
+        if not force:
+            threshold = self._low_pages
+            if self.config.priority_aware and self.ftl.priority_probe() > 0:
+                threshold = self._critical_pages
+            if self.ftl._free[e_idx] >= threshold:
+                return
         victim = self.select_victim(e_idx)
         if victim < 0:
             return  # nothing reclaimable
@@ -205,41 +229,45 @@ class Cleaner:
         el = ftl.elements[e_idx]
         geom = ftl.geometry
         timing = el.timing
+        stats = ftl.stats
+        page_state = el._ps
+        reverse_lpn = el._rl
+        emap = ftl._mapv[e_idx]
+        ppb = geom.pages_per_block
+        copy_us = timing.copy_us(geom.page_bytes)
+        n_pages = len(pages)
         index = start
-        while index < len(pages):
-            end = min(index + self.config.batch_pages, len(pages))
+        while index < n_pages:
+            end = min(index + self.config.batch_pages, n_pages)
             batch = [
                 p for p in pages[index:end]
-                if el.page_state[victim, p] == PageState.VALID
+                if page_state[victim, p] == PageState.VALID
             ]
             index = end
             if not batch:
                 continue
-            more = index < len(pages)
+            more = index < n_pages
+            last = len(batch) - 1
             for position, page in enumerate(batch):
-                slot = int(el.reverse_lpn[victim, page])
+                slot = reverse_lpn[victim, page]
                 dst_block, dst_page = ftl.allocate_page(
                     e_idx, temp="hot", for_cleaning=True
                 )
                 callback = None
-                if more and position == len(batch) - 1:
-                    callback = (
-                        lambda now, e=e_idx, v=victim, p=pages, s=index:
-                        self._batch_done(e, v, p, s)
-                    )
+                if more and position == last:
+                    self._batch_cont[e_idx] = (victim, pages, index)
+                    callback = self._batch_cbs[e_idx]
                 el.copy_page(victim, page, dst_block, dst_page, slot,
                              tag=TAG_CLEAN, callback=callback)
-                ftl.map_for(e_idx)[slot] = geom.page_index(dst_block, dst_page)
-                ftl.stats.clean_pages_moved += 1
-                ftl.stats.clean_time_us += timing.copy_us(geom.page_bytes)
-                ftl.stats.flash_pages_programmed += 1
+                emap[slot] = dst_block * ppb + dst_page
+                stats.clean_pages_moved += 1
+                stats.clean_time_us += copy_us
+                stats.flash_pages_programmed += 1
             if more:
                 return
-        ftl.stats.clean_time_us += timing.erase_us()
-        el.erase_block(
-            victim, tag=TAG_CLEAN,
-            callback=lambda now, e=e_idx, b=victim: self._erase_done(e, b),
-        )
+        stats.clean_time_us += timing.erase_us()
+        self._erasing[e_idx] = victim
+        el.erase_block(victim, tag=TAG_CLEAN, callback=self._erase_cbs[e_idx])
 
     def _batch_done(self, e_idx: int, victim: int, pages: list, start: int) -> None:
         """A copy batch finished: pause for priority traffic or continue."""

@@ -1,0 +1,184 @@
+"""Erase-count-ordered free-block pool.
+
+The page-mapped FTL pulls erased blocks three ways, depending on policy and
+data temperature: least-worn first (dynamic wear-leveling), most-worn first
+(cold-data parking, static-migration destinations), and plain LIFO (wear
+policies off).  The seed implementation rebuilt a numpy array of the pool
+and linearly scanned it per allocation; this class keeps two lazy heaps and
+an insertion-ordered list so every pull is O(log n) — while reproducing the
+seed's tie-breaking *exactly* (among equally-worn blocks, the earliest
+pool entry wins, which is what ``argmin``/``argmax`` returned on the old
+list-ordered scan).
+
+Laziness rules:
+
+* Membership truth lives in ``_live`` (block -> seq of its current entry).
+  Heap and list entries whose seq no longer matches are stale and skipped.
+* Erase counts only change while a block is *outside* the pool (a block must
+  be pulled before it can be erased), so heap keys are normally exact.
+  Code that pokes ``element.erase_count`` of *pooled* blocks directly
+  (tests, fault injection) must call :meth:`rekey` — via
+  ``PageMappedFTL.note_wear_changed`` — afterwards: the pop-time staleness
+  check below only re-keys entries it happens to see at the heap top, which
+  is a consistency backstop, not full healing.
+* Stale entries are compacted away once they outnumber live ones, keeping
+  memory bounded on long dynamic-wear runs that never pop the LIFO list.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Iterable, Iterator
+
+__all__ = ["FreeBlockPool"]
+
+#: compact once a structure holds this many more stale than live entries
+_COMPACT_SLACK = 64
+
+
+class FreeBlockPool:
+    """Pool of erased blocks for one element (see module docstring)."""
+
+    __slots__ = ("_ec", "_live", "_seq", "_order", "_head", "_minh", "_maxh")
+
+    def __init__(self, blocks: Iterable[int], erase_count) -> None:
+        """``erase_count`` is an indexable view of the element's per-block
+        erase counters (shared, live — not copied)."""
+        self._ec = erase_count
+        self._live: dict[int, int] = {}
+        self._seq = 0
+        #: insertion-ordered (seq, block) entries; _head skips popped FIFO ones
+        self._order: list[tuple[int, int]] = []
+        self._head = 0
+        self._minh: list[tuple[int, int, int]] = []  # (count, seq, block)
+        self._maxh: list[tuple[int, int, int]] = []  # (-count, seq, block)
+        for block in blocks:
+            self.push(block)
+
+    # -- membership ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._live
+
+    def __iter__(self) -> Iterator[int]:
+        """Live blocks in insertion order (the seed's list order)."""
+        live = self._live
+        return (b for s, b in self._order if live.get(b) == s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FreeBlockPool n={len(self._live)}>"
+
+    # -- updates ---------------------------------------------------------
+
+    def push(self, block: int) -> None:
+        """Add an erased block (must not already be pooled)."""
+        live = self._live
+        assert block not in live, f"block {block} already in free pool"
+        seq = self._seq
+        self._seq = seq + 1
+        live[block] = seq
+        count = self._ec[block]
+        self._order.append((seq, block))
+        heappush(self._minh, (count, seq, block))
+        heappush(self._maxh, (-count, seq, block))
+        n_live = len(live)
+        if len(self._order) - self._head > 2 * n_live + _COMPACT_SLACK:
+            self._order = [(s, b) for s, b in self._order[self._head:]
+                           if live.get(b) == s]
+            self._head = 0
+        if len(self._minh) > 2 * n_live + _COMPACT_SLACK:
+            self._compact_heaps()
+
+    def _compact_heaps(self) -> None:
+        ec = self._ec
+        entries = [(ec[b], s, b) for b, s in self._live.items()]
+        self._minh = entries  # (count, seq, block)
+        heapify(self._minh)
+        self._maxh = [(-c, s, b) for c, s, b in entries]
+        heapify(self._maxh)
+
+    def rekey(self) -> None:
+        """Rebuild the wear ordering from the live erase counters.
+
+        Erase counts cannot change while a block is pooled on the normal
+        path (blocks are pulled before being erased), so this is only
+        needed after *external* mutation of the counters — tests and fault
+        injection poking ``element.erase_count`` directly.  Tie-break ranks
+        (pool-entry order) are preserved.
+        """
+        self._compact_heaps()
+
+    # -- pulls (each removes and returns one block) ----------------------
+
+    def pop_min_wear(self) -> int:
+        """Least-worn live block; ties broken by earliest pool entry."""
+        ec = self._ec
+        live = self._live
+        heap = self._minh
+        while heap:
+            count, seq, block = heap[0]
+            if live.get(block) != seq:
+                heappop(heap)
+                continue
+            current = ec[block]
+            if current != count:  # externally mutated counter: re-key
+                heappop(heap)
+                heappush(heap, (current, seq, block))
+                continue
+            heappop(heap)
+            del live[block]
+            return block
+        raise IndexError("pop from empty FreeBlockPool")
+
+    def pop_max_wear(self) -> int:
+        """Most-worn live block; ties broken by earliest pool entry."""
+        ec = self._ec
+        live = self._live
+        heap = self._maxh
+        while heap:
+            neg, seq, block = heap[0]
+            if live.get(block) != seq:
+                heappop(heap)
+                continue
+            current = ec[block]
+            if current != -neg:
+                heappop(heap)
+                heappush(heap, (-current, seq, block))
+                continue
+            heappop(heap)
+            del live[block]
+            return block
+        raise IndexError("pop from empty FreeBlockPool")
+
+    def pop_lifo(self) -> int:
+        """Most recently pooled block (the seed's ``pool.pop()``)."""
+        live = self._live
+        order = self._order
+        while order:
+            seq, block = order[-1]
+            order.pop()
+            if live.get(block) == seq:
+                del live[block]
+                return block
+        raise IndexError("pop from empty FreeBlockPool")
+
+    def pop_fifo(self) -> int:
+        """Oldest pooled block (the seed's ``pool.pop(0)``; used by prefill)."""
+        live = self._live
+        order = self._order
+        head = self._head
+        while head < len(order):
+            seq, block = order[head]
+            head += 1
+            if live.get(block) == seq:
+                self._head = head
+                del live[block]
+                return block
+        self._head = head
+        raise IndexError("pop from empty FreeBlockPool")

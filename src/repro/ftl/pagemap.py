@@ -35,8 +35,14 @@ import numpy as np
 
 from repro.flash.element import FlashElement, PageState
 from repro.flash.ops import TAG_HOST
-from repro.ftl.base import BaseFTL, CompletionJoin, DeviceFullError
+from repro.ftl.base import (
+    BaseFTL,
+    CompletionJoin,
+    DeviceFullError,
+    complete_async,
+)
 from repro.ftl.cleaning import Cleaner, CleaningConfig
+from repro.ftl.freepool import FreeBlockPool
 from repro.ftl.wearlevel import WearConfig, WearLeveler
 from repro.sim.engine import Simulator
 
@@ -85,10 +91,16 @@ class PageMappedFTL(BaseFTL):
 
         slots = math.ceil(user_logical_pages / self.n_gangs)
         self._maps = [np.full(slots, -1, dtype=np.int64) for _ in elements]
-        self._pool: List[List[int]] = [
-            list(range(geom.blocks_per_element)) for _ in elements
+        #: memoryviews over _maps: plain-int scalar access on the hot path
+        #: (same buffers — bulk numpy users stay coherent)
+        self._mapv = [memoryview(m) for m in self._maps]
+        self._pool: List[FreeBlockPool] = [
+            FreeBlockPool(range(geom.blocks_per_element),
+                          memoryview(el.erase_count))
+            for el in elements
         ]
         self._frontier: List[dict] = [{} for _ in elements]
+        self._ppb = geom.pages_per_block
         self._free: List[int] = [geom.pages_per_element for _ in elements]
         self.spare_fraction = spare_fraction
         #: admission headroom: one block of in-flight cleaning copies plus
@@ -139,38 +151,46 @@ class PageMappedFTL(BaseFTL):
                 f"element {e_idx}: no erased blocks left "
                 f"(free_pages={self._free[e_idx]})"
             )
-        el = self.elements[e_idx]
         if temp == "cold":
             # cold data goes to the most-worn block: it will rarely be
             # rewritten, so parking it there stops further wear
-            arr = np.fromiter(pool, count=len(pool), dtype=np.int64)
-            idx = int(el.erase_count[arr].argmax())
-        elif self.wear_config.dynamic:
-            arr = np.fromiter(pool, count=len(pool), dtype=np.int64)
-            idx = int(el.erase_count[arr].argmin())
-        else:
-            idx = len(pool) - 1
-        return pool.pop(idx)
+            return pool.pop_max_wear()
+        if self.wear_config.dynamic:
+            return pool.pop_min_wear()
+        return pool.pop_lifo()
 
     def allocate_page(
         self, e_idx: int, temp: str = "hot", for_cleaning: bool = False
     ) -> tuple[int, int]:
         """Take the next frontier page of *e_idx*; pulls a new erased block
         when the frontier fills.  Returns (block, page)."""
-        el = self.elements[e_idx]
-        ppb = self.geometry.pages_per_block
-        frontier = self._frontier[e_idx].get(temp)
-        if frontier is None or el.write_ptr[frontier] >= ppb:
+        frontiers = self._frontier[e_idx]
+        frontier = frontiers.get(temp)
+        wp = self.elements[e_idx]._wp
+        if frontier is None or wp[frontier] >= self._ppb:
             frontier = self._pull_block(e_idx, temp)
-            self._frontier[e_idx][temp] = frontier
-        page = int(el.write_ptr[frontier])
+            frontiers[temp] = frontier
         self._free[e_idx] -= 1
-        return frontier, page
+        return frontier, wp[frontier]
 
     def release_block(self, e_idx: int, block: int) -> None:
         """Return an erased block to the pool (erase already completed)."""
-        self._pool[e_idx].append(block)
+        self._pool[e_idx].push(block)
         self._free[e_idx] += self.geometry.pages_per_block
+
+    def note_wear_changed(self, e_idx: Optional[int] = None) -> None:
+        """Re-key the free-block wear ordering of one element (or all).
+
+        Call after mutating ``element.erase_count`` outside the normal
+        erase path (tests, fault injection, imported wear state); the pull
+        structures cache wear keys because production erases can only touch
+        blocks that are outside the pool.
+        """
+        if e_idx is not None:
+            self._pool[e_idx].rekey()
+        else:
+            for pool in self._pool:
+                pool.rekey()
 
     def pull_worn_free_block(self, e_idx: int) -> int:
         """Remove the most-worn erased block from the pool (for static
@@ -178,9 +198,7 @@ class PageMappedFTL(BaseFTL):
         pool = self._pool[e_idx]
         if not pool:
             return -1
-        el = self.elements[e_idx]
-        idx = max(range(len(pool)), key=lambda i: el.erase_count[pool[i]])
-        block = pool.pop(idx)
+        block = pool.pop_max_wear()
         self._free[e_idx] -= self.geometry.pages_per_block
         return block
 
@@ -197,55 +215,104 @@ class PageMappedFTL(BaseFTL):
         temp: str = "hot",
     ) -> None:
         self._check_range(offset, size)
-        join = CompletionJoin(self.sim, done)
         lp = self.logical_page_bytes
+        if self.shards == 1 and (offset % lp) + size <= lp:
+            # fast path: one flash page on one element — the overwhelmingly
+            # common shape for a 4 KB page-mapped device.  A full-page
+            # overwrite needs exactly one program, so the request's ``done``
+            # rides directly on the flash op with no CompletionJoin.
+            stats = self.stats
+            lpn = offset // lp
+            e_idx = lpn % self.n_gangs
+            slot = lpn // self.n_gangs
+            el = self.elements[e_idx]
+            mapv = self._mapv[e_idx]
+            ppb = self._ppb
+            old = mapv[slot]
+            stats.host_pages_written += 1
+            callback = done
+            if old >= 0:
+                old_block = old // ppb
+                old_page = old % ppb
+                if size < lp:
+                    # merge read: the old page contributes surviving bytes
+                    join = CompletionJoin(self.sim, done)
+                    join.expect(2)
+                    callback = join.child_done
+                    el.read_page(old_block, old_page, nbytes=lp, tag=tag,
+                                 callback=callback)
+                    stats.rmw_pages_read += 1
+                el.invalidate_state(old_block, old_page)
+            new_block, new_page = self.allocate_page(e_idx, temp=temp)
+            el.program_page(new_block, new_page, slot, tag=tag,
+                            callback=callback)
+            mapv[slot] = new_block * ppb + new_page
+            stats.flash_pages_programmed += 1
+            stats.host_writes += 1
+            self.cleaner.maybe_clean(e_idx)
+            return
+
+        join = CompletionJoin(self.sim, done)
+        child_done = join.child_done
+        expect = join.expect
+        stats = self.stats
+        elements = self.elements
+        mapvs = self._mapv
+        allocate = self.allocate_page
         fp = self.geometry.page_bytes
-        geom = self.geometry
+        ppb = self._ppb
+        shards = self.shards
+        n_gangs = self.n_gangs
         end = offset + size
         touched: Set[int] = set()
 
         for lpn in range(offset // lp, (end - 1) // lp + 1):
             page_base = lpn * lp
-            a = max(offset, page_base) - page_base
-            b = min(end, page_base + lp) - page_base
-            gang, slot = self._gang_slot(lpn)
-            e_base = gang * self.shards
-            for j in range(self.shards):
+            a = offset - page_base
+            if a < 0:
+                a = 0
+            b = end - page_base
+            if b > lp:
+                b = lp
+            slot = lpn // n_gangs
+            e_base = (lpn % n_gangs) * shards
+            shard_base = 0
+            for j in range(shards):
                 e_idx = e_base + j
-                el = self.elements[e_idx]
-                emap = self._maps[e_idx]
-                old = int(emap[slot])
-                ca = max(a, j * fp)
-                cb = min(b, (j + 1) * fp)
+                el = elements[e_idx]
+                mapv = mapvs[e_idx]
+                old = mapv[slot]
+                ca = a if a > shard_base else shard_base
+                shard_base += fp
+                cb = b if b < shard_base else shard_base
                 covered = cb - ca
                 if covered > 0:
-                    self.stats.host_pages_written += 1
-                if old >= 0 and covered < fp:
-                    # merge read: the old shard contributes surviving bytes
-                    join.expect()
-                    el.read_page(
-                        geom.block_of(old),
-                        geom.page_of(old),
-                        nbytes=fp,
-                        tag=tag,
-                        callback=join.child_done,
-                    )
-                    self.stats.rmw_pages_read += 1
+                    stats.host_pages_written += 1
                 if old >= 0:
-                    el.invalidate_state(geom.block_of(old), geom.page_of(old))
-                new_block, new_page = self.allocate_page(e_idx, temp=temp)
-                join.expect()
+                    old_block = old // ppb
+                    old_page = old % ppb
+                    if covered < fp:
+                        # merge read: the old shard contributes surviving
+                        # bytes
+                        expect()
+                        el.read_page(old_block, old_page, nbytes=fp, tag=tag,
+                                     callback=child_done)
+                        stats.rmw_pages_read += 1
+                    el.invalidate_state(old_block, old_page)
+                new_block, new_page = allocate(e_idx, temp=temp)
+                expect()
                 el.program_page(
-                    new_block, new_page, slot, tag=tag, callback=join.child_done
+                    new_block, new_page, slot, tag=tag, callback=child_done
                 )
-                emap[slot] = geom.page_index(new_block, new_page)
-                self.stats.flash_pages_programmed += 1
+                mapv[slot] = new_block * ppb + new_page
+                stats.flash_pages_programmed += 1
                 touched.add(e_idx)
 
-        self.stats.host_writes += 1
+        stats.host_writes += 1
         join.arm()
+        maybe_clean = self.cleaner.maybe_clean
         for e_idx in touched:
-            self.cleaner.maybe_clean(e_idx)
+            maybe_clean(e_idx)
 
     def read(
         self,
@@ -255,37 +322,69 @@ class PageMappedFTL(BaseFTL):
         tag: str = TAG_HOST,
     ) -> None:
         self._check_range(offset, size)
-        join = CompletionJoin(self.sim, done)
         lp = self.logical_page_bytes
+        if self.shards == 1 and (offset % lp) + size <= lp:
+            # fast path mirroring write(): one flash page on one element,
+            # ``done`` rides directly on the single read op (never-written
+            # space completes via a zero-delay event, preserving the
+            # "no re-entrant done" contract)
+            stats = self.stats
+            lpn = offset // lp
+            stats.host_pages_read += 1
+            stats.host_reads += 1
+            ppn = self._mapv[lpn % self.n_gangs][lpn // self.n_gangs]
+            if ppn < 0:
+                complete_async(self.sim, done)
+                return
+            ppb = self._ppb
+            self.elements[lpn % self.n_gangs].read_page(
+                ppn // ppb, ppn % ppb, nbytes=size, tag=tag, callback=done
+            )
+            return
+
+        join = CompletionJoin(self.sim, done)
+        child_done = join.child_done
+        expect = join.expect
+        stats = self.stats
+        elements = self.elements
+        mapvs = self._mapv
         fp = self.geometry.page_bytes
-        geom = self.geometry
+        ppb = self._ppb
+        shards = self.shards
+        n_gangs = self.n_gangs
         end = offset + size
 
         for lpn in range(offset // lp, (end - 1) // lp + 1):
             page_base = lpn * lp
-            a = max(offset, page_base) - page_base
-            b = min(end, page_base + lp) - page_base
-            gang, slot = self._gang_slot(lpn)
-            e_base = gang * self.shards
-            for j in range(self.shards):
-                ca = max(a, j * fp)
-                cb = min(b, (j + 1) * fp)
+            a = offset - page_base
+            if a < 0:
+                a = 0
+            b = end - page_base
+            if b > lp:
+                b = lp
+            slot = lpn // n_gangs
+            e_base = (lpn % n_gangs) * shards
+            shard_base = 0
+            for j in range(shards):
+                ca = a if a > shard_base else shard_base
+                shard_base += fp
+                cb = b if b < shard_base else shard_base
                 if cb - ca <= 0:
                     continue
-                self.stats.host_pages_read += 1
+                stats.host_pages_read += 1
                 e_idx = e_base + j
-                ppn = int(self._maps[e_idx][slot])
+                ppn = mapvs[e_idx][slot]
                 if ppn < 0:
                     continue  # never written: served from the controller
-                join.expect()
-                self.elements[e_idx].read_page(
-                    geom.block_of(ppn),
-                    geom.page_of(ppn),
+                expect()
+                elements[e_idx].read_page(
+                    ppn // ppb,
+                    ppn % ppb,
                     nbytes=cb - ca,
                     tag=tag,
-                    callback=join.child_done,
+                    callback=child_done,
                 )
-        self.stats.host_reads += 1
+        stats.host_reads += 1
         join.arm()
 
     def trim(self, offset: int, size: int) -> None:
@@ -329,6 +428,10 @@ class PageMappedFTL(BaseFTL):
         return needed
 
     def can_accept_write(self, offset: int, size: int) -> bool:
+        lp = self.logical_page_bytes
+        if self.shards == 1 and (offset % lp) + size <= lp:
+            e_idx = (offset // lp) % self.n_gangs
+            return self._free[e_idx] - 1 >= self.reserve_pages
         for e_idx, count in self.pages_needed(offset, size).items():
             if self._free[e_idx] - count < self.reserve_pages:
                 return False
@@ -344,6 +447,8 @@ class PageMappedFTL(BaseFTL):
 
     def elements_for_range(self, offset: int, size: int) -> List[int]:
         lp = self.logical_page_bytes
+        if self.shards == 1 and (offset % lp) + size <= lp:
+            return [(offset // lp) % self.n_gangs]
         fp = self.geometry.page_bytes
         end = offset + size
         out: Set[int] = set()

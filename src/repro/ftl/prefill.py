@@ -62,7 +62,7 @@ def prefill_pagemap(
             )
         filled = 0
         while filled < n:
-            block = pool.pop(0)
+            block = pool.pop_fifo()
             take = min(ppb, n - filled)
             el.page_state[block, :take] = PageState.VALID
             el.reverse_lpn[block, :take] = np.arange(filled, filled + take)

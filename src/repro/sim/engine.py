@@ -2,15 +2,21 @@
 
 Design notes
 ------------
-* The event queue is a binary heap of ``[time, seq, fn, args, alive]`` lists.
-  ``seq`` makes ordering deterministic when two events share a timestamp,
-  which matters for reproducible experiments.
+* The event queue is a binary heap of ``(time, seq, event)`` tuples.  Tuples
+  compare in C (no Python ``__lt__`` dispatch per sift), and ``seq`` makes
+  ordering deterministic when two events share a timestamp, which matters
+  for reproducible experiments.
 * Cancellation is lazy: :meth:`Simulator.cancel` flips the ``alive`` flag and
   the event is discarded when popped.  This keeps ``schedule``/``cancel``
-  O(log n) without heap surgery.
+  O(log n) without heap surgery.  A live-event counter is maintained on
+  push/cancel/pop so :attr:`Simulator.pending` is O(1).
 * Callbacks run with the simulator clock already advanced to the event time,
   so a callback that calls :meth:`Simulator.schedule` with delay 0 runs later
   in the same instant (after all earlier same-time events).
+* Hot callers (the per-element FIFO drain in
+  :class:`repro.flash.element.FlashElement`) allocate one :class:`Event` up
+  front and re-arm it with :meth:`Simulator.reschedule`, so steady-state
+  simulation pushes no new Event objects at all.
 """
 
 from __future__ import annotations
@@ -29,8 +35,9 @@ class Event:
     """Handle for a scheduled callback.
 
     Instances are returned by :meth:`Simulator.schedule` and can be passed to
-    :meth:`Simulator.cancel`.  They compare by (time, seq) so they can live in
-    the heap directly.
+    :meth:`Simulator.cancel`.  The heap orders entries by ``(time, seq)``;
+    the comparison here only backs sorting of bare Event lists in tests and
+    debugging.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "alive")
@@ -58,9 +65,10 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
         self._events_run: int = 0
+        self._alive: int = 0
 
     # -- scheduling -------------------------------------------------------
 
@@ -76,14 +84,38 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time_us} before current time {self.now}"
             )
-        event = Event(time_us, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time_us, seq, fn, args)
+        heapq.heappush(self._heap, (time_us, seq, event))
+        self._alive += 1
         return event
+
+    def reschedule(self, event: Event, time_us: float) -> None:
+        """Re-arm a previously fired (or never armed) event at *time_us*.
+
+        Fast path for callers that reuse one Event object instead of
+        allocating per occurrence.  The caller must guarantee the event is
+        not currently in the heap (it already fired or was never scheduled);
+        re-arming a still-queued event would corrupt completion order.
+        """
+        if time_us < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time_us} before current time {self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        event.time = time_us
+        event.seq = seq
+        event.alive = True
+        heapq.heappush(self._heap, (time_us, seq, event))
+        self._alive += 1
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event; cancelling twice or after it ran is a no-op."""
-        event.alive = False
+        if event.alive:
+            event.alive = False
+            self._alive -= 1
 
     # -- running ----------------------------------------------------------
 
@@ -91,11 +123,12 @@ class Simulator:
         """Run the next pending event.  Returns False if the queue is empty."""
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)
+            time_us, _seq, event = heapq.heappop(heap)
             if not event.alive:
                 continue
-            self.now = event.time
+            self.now = time_us
             event.alive = False
+            self._alive -= 1
             self._events_run += 1
             event.fn(*event.args)
             return True
@@ -110,18 +143,33 @@ class Simulator:
         """
         ran = 0
         heap = self._heap
+        pop = heapq.heappop
+        if until_us is None and max_events is None:
+            # hot path: drain everything, no bound checks per iteration
+            while heap:
+                time_us, _seq, event = pop(heap)
+                if not event.alive:
+                    continue
+                self.now = time_us
+                event.alive = False
+                self._alive -= 1
+                event.fn(*event.args)
+                ran += 1
+            self._events_run += ran
+            return ran
         while heap:
             if max_events is not None and ran >= max_events:
                 break
-            event = heap[0]
+            time_us, _seq, event = heap[0]
             if not event.alive:
-                heapq.heappop(heap)
+                pop(heap)
                 continue
-            if until_us is not None and event.time > until_us:
+            if until_us is not None and time_us > until_us:
                 break
-            heapq.heappop(heap)
-            self.now = event.time
+            pop(heap)
+            self.now = time_us
             event.alive = False
+            self._alive -= 1
             event.fn(*event.args)
             ran += 1
         if until_us is not None and self.now < until_us:
@@ -137,9 +185,9 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued (upper bound:
-        lazily cancelled events are counted until popped)."""
-        return sum(1 for e in self._heap if e.alive)
+        """Number of not-yet-cancelled events still queued.  O(1): a live
+        counter is maintained on push/cancel/pop."""
+        return self._alive
 
     @property
     def events_run(self) -> int:

@@ -83,6 +83,64 @@ class TestSerialExecution:
         assert len(idles) == 1
 
 
+class TestDeepQueue:
+    """Regression guards for the element FIFO at depth (the seed used a
+    list with O(n) pop(0), which went quadratic on deep queues)."""
+
+    def test_deep_queue_completes_in_order_with_exact_clock(self, element):
+        sim, el = element
+        times = []
+        depth = 500
+        for _ in range(depth):
+            el.enqueue(FlashOp(OpKind.READ, nbytes=4096, callback=times.append))
+        assert el.queue_depth == depth
+        dur = el.timing.read_us(4096)
+        assert el.queue_wait_us() == pytest.approx(depth * dur)
+        sim.run_until_idle()
+        assert times == pytest.approx([dur * (i + 1) for i in range(depth)])
+        assert el.idle
+        assert el.ops_by_tag["host"] == depth
+
+    def test_deep_queue_wall_time_is_not_quadratic(self):
+        # 50k queued ops: O(1) popleft finishes in well under a second;
+        # the old list.pop(0) took multiple seconds.  The generous bound
+        # keeps this stable on slow CI while still catching O(n) re-entry.
+        import time
+
+        sim = Simulator()
+        geom = FlashGeometry(page_bytes=4096, pages_per_block=8,
+                             blocks_per_element=16)
+        el = FlashElement(sim, geom, FlashTiming.slc())
+        count = 50_000
+        start = time.perf_counter()
+        for _ in range(count):
+            el.enqueue(FlashOp(OpKind.READ, nbytes=4096))
+        sim.run_until_idle()
+        elapsed = time.perf_counter() - start
+        assert el.ops_by_tag["host"] == count
+        assert elapsed < 5.0, f"deep FIFO took {elapsed:.1f}s — O(n) pop again?"
+
+
+class TestOpRecycling:
+    def test_internal_ops_are_recycled(self, element):
+        sim, el = element
+        el.program_state(0, 0, lpn=1)
+        for i in range(32):
+            el.read_page(0, 0)
+            sim.run_until_idle()
+        # steady state: the slab serves every op, no growth
+        assert len(el._op_pool) <= 2
+        assert el.pages_read == 32
+
+    def test_external_ops_are_not_recycled(self, element):
+        sim, el = element
+        op = FlashOp(OpKind.READ, nbytes=4096)
+        el.enqueue(op)
+        sim.run_until_idle()
+        assert op not in el._op_pool
+        assert op.kind is OpKind.READ  # untouched after completion
+
+
 class TestStateMachine:
     def test_program_requires_free(self, element):
         _sim, el = element

@@ -1,0 +1,123 @@
+"""Unit tests for the erase-count-ordered free-block pool."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.ftl.freepool import FreeBlockPool
+
+
+def make_pool(counts):
+    arr = np.asarray(counts, dtype=np.int64)
+    return FreeBlockPool(range(len(counts)), memoryview(arr)), arr
+
+
+class TestBasics:
+    def test_membership_len_iter(self):
+        pool, _ = make_pool([0, 0, 0])
+        assert len(pool) == 3
+        assert list(pool) == [0, 1, 2]
+        assert 1 in pool
+        pool.pop_min_wear()
+        assert len(pool) == 2
+        assert 0 not in pool
+
+    def test_empty_pops_raise(self):
+        pool, _ = make_pool([0])
+        pool.pop_lifo()
+        assert not pool
+        for pop in (pool.pop_min_wear, pool.pop_max_wear, pool.pop_lifo,
+                    pool.pop_fifo):
+            with pytest.raises(IndexError):
+                pop()
+
+    def test_double_push_asserts(self):
+        pool, _ = make_pool([0, 0])
+        with pytest.raises(AssertionError):
+            pool.push(0)
+
+
+class TestWearOrder:
+    def test_min_and_max_follow_counts(self):
+        pool, _ = make_pool([5, 1, 9, 3])
+        assert pool.pop_min_wear() == 1
+        assert pool.pop_max_wear() == 2
+        assert pool.pop_min_wear() == 3
+        assert pool.pop_min_wear() == 0
+
+    def test_ties_break_by_pool_entry_order(self):
+        # the seed scanned the pool list and argmin returned the first
+        # minimum — entry order must win ties
+        pool, _ = make_pool([2, 2, 2])
+        assert pool.pop_min_wear() == 0
+        assert pool.pop_max_wear() == 1
+
+    def test_reentered_block_ranks_after_older_ties(self):
+        pool, arr = make_pool([1, 1, 1])
+        block = pool.pop_min_wear()  # 0
+        pool.push(block)  # same count, but now the newest entry
+        assert pool.pop_min_wear() == 1
+
+    def test_counts_read_at_push_time(self):
+        pool, arr = make_pool([0, 0])
+        first = pool.pop_lifo()  # 1
+        arr[first] += 1
+        pool.push(first)
+        assert pool.pop_min_wear() == 0
+        assert pool.pop_max_wear() == 1
+
+    def test_rekey_after_external_mutation(self):
+        pool, arr = make_pool([0, 0, 0, 0])
+        arr[:] = 7
+        arr[2] = 1
+        pool.rekey()
+        assert pool.pop_min_wear() == 2
+
+
+class TestOrderedPops:
+    def test_lifo_and_fifo(self):
+        pool, _ = make_pool([0, 0, 0, 0])
+        assert pool.pop_fifo() == 0
+        assert pool.pop_lifo() == 3
+        pool.push(0)
+        assert pool.pop_lifo() == 0
+        assert pool.pop_fifo() == 1
+
+    def test_mixed_pop_styles_skip_stale_entries(self):
+        pool, arr = make_pool([3, 1, 2, 0])
+        assert pool.pop_min_wear() == 3   # count 0
+        assert pool.pop_lifo() == 2       # newest remaining entry
+        assert pool.pop_fifo() == 0       # oldest remaining entry
+        assert list(pool) == [1]
+
+
+class TestStress:
+    def test_matches_list_reference_under_churn(self):
+        # exhaustive differential test against the seed's list semantics
+        rng = random.Random(42)
+        counts = np.array([rng.randrange(8) for _ in range(32)], dtype=np.int64)
+        pool = FreeBlockPool(range(32), memoryview(counts))
+        reference = list(range(32))
+        for step in range(4000):
+            action = rng.random()
+            if reference and action < 0.30:
+                idx = min(range(len(reference)),
+                          key=lambda i: counts[reference[i]])
+                assert pool.pop_min_wear() == reference.pop(idx)
+            elif reference and action < 0.55:
+                idx = max(range(len(reference)),
+                          key=lambda i: counts[reference[i]] * 10_000 - i)
+                assert pool.pop_max_wear() == reference.pop(idx)
+            elif reference and action < 0.70:
+                assert pool.pop_lifo() == reference.pop()
+            elif len(reference) < 32:
+                absent = [b for b in range(32) if b not in reference]
+                block = rng.choice(absent)
+                counts[block] += 1  # "erased" while out of the pool
+                pool.push(block)
+                reference.append(block)
+            assert len(pool) == len(reference)
+        assert list(pool) == reference

@@ -1,0 +1,192 @@
+"""Guardrails for perf work on the simulation core.
+
+Two protections:
+
+1. **Determinism**: the same seeded workload run twice produces identical
+   stats, event counts, and final clock.  Any hidden dependence on dict
+   order, object identity, or wall time shows up here.
+2. **Golden snapshot**: the workloads' results are pinned to constants
+   recorded from the pre-optimization tree (PR 1 seed).  A perf refactor
+   must change *wall time only* — if simulated behaviour moves, these
+   constants move, and the PR must justify why.
+
+The main workload deliberately crosses every hot path this suite
+optimizes: striped logical pages (shards=2) with read-modify-writes, SWTF
+scheduling (queue_wait_us), priority-aware cleaning, TRIM, and dynamic
+wear-leveling.  The second workload hammers a tiny device with static
+wear-leveling so block migration (pull_worn_free_block) is exercised.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.device.interface import OpType
+from repro.device.ssd import SSD
+from repro.device.ssd_config import SSDConfig
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.cleaning import CleaningConfig
+from repro.ftl.wearlevel import WearConfig
+from repro.sim.engine import Simulator
+from repro.workloads.driver import ClosedLoopDriver
+
+# Recorded from the seed tree (commit 4f793d6) by running the workloads
+# below, before the hot-path refactor; see test docstring.
+GOLDEN_MAIN: dict = {
+    "final_clock_us": 1034132.2812,
+    "events_run": 22116,
+    "stats": {
+        "host_reads": 972,
+        "host_writes": 2865,
+        "host_pages_read": 1948,
+        "host_pages_written": 5788,
+        "flash_pages_programmed": 10273,
+        "rmw_pages_read": 2025,
+        "clean_pages_moved": 1605,
+        "clean_time_us": 965341.0,
+        "clean_erases": 398,
+        "wear_migrations": 0,
+        "wear_pages_moved": 0,
+        "trims": 163,
+        "trimmed_pages": 120,
+        "write_stalls": 85,
+    },
+    "busy_us": {"host": 3016514.6875, "clean": 965341.0, "wear": 0.0},
+    "erases": 398,
+}
+GOLDEN_WEAR: dict = {
+    "final_clock_us": 699290.4375,
+    "events_run": 7833,
+    "stats": {
+        "host_reads": 0,
+        "host_writes": 2500,
+        "host_pages_read": 0,
+        "host_pages_written": 2500,
+        "flash_pages_programmed": 2551,
+        "rmw_pages_read": 0,
+        "clean_pages_moved": 29,
+        "clean_time_us": 394157.0,
+        "clean_erases": 258,
+        "wear_migrations": 24,
+        "wear_pages_moved": 22,
+        "trims": 0,
+        "trimmed_pages": 0,
+        "write_stalls": 10,
+    },
+    "busy_us": {"host": 749140.625, "clean": 394157.0, "wear": 41086.0},
+    "erases": 282,
+}
+
+
+def _observables(sim: Simulator, ssd: SSD) -> dict:
+    stats = vars(ssd.ftl.stats.snapshot()).copy()
+    stats["clean_time_us"] = round(stats["clean_time_us"], 6)
+    busy = {
+        tag: round(sum(el.busy_us(tag) for el in ssd.ftl.elements), 4)
+        for tag in ("host", "clean", "wear")
+    }
+    return {
+        "final_clock_us": round(sim.now, 4),
+        "events_run": sim.events_run,
+        "stats": stats,
+        "busy_us": busy,
+        "erases": sum(el.erases_performed for el in ssd.ftl.elements),
+    }
+
+
+def _run_main():
+    sim = Simulator()
+    config = SSDConfig(
+        name="determinism-main",
+        n_elements=4,
+        geometry=FlashGeometry(page_bytes=4096, pages_per_block=16,
+                               blocks_per_element=64),
+        logical_page_bytes=8192,  # shards=2: exercises striping + RMW
+        scheduler="swtf",
+        max_inflight=8,
+        controller_overhead_us=5.0,
+        trim_enabled=True,
+        cleaning=CleaningConfig(priority_aware=True),
+    )
+    ssd = SSD(sim, config)
+    region = int(ssd.capacity_bytes * 0.7) // 4096
+    rng = random.Random(99)
+
+    def next_request(i: int):
+        offset = rng.randrange(region) * 4096
+        size = rng.choice((4096, 8192, 12288))
+        size = min(size, ssd.capacity_bytes - offset)
+        roll = rng.random()
+        if roll < 0.25:
+            op = OpType.READ
+        elif roll < 0.29:
+            op = OpType.FREE
+        else:
+            op = OpType.WRITE
+        priority = 1 if rng.random() < 0.1 else 0
+        return op, offset, size, priority
+
+    driver = ClosedLoopDriver(sim, ssd, next_request, count=4000, depth=8)
+    driver.run()
+    ssd.ftl.check_consistency()
+    return sim, ssd
+
+
+def _run_wear():
+    sim = Simulator()
+    config = SSDConfig(
+        name="determinism-wear",
+        n_elements=2,
+        geometry=FlashGeometry(page_bytes=4096, pages_per_block=8,
+                               blocks_per_element=32),
+        max_inflight=4,
+        controller_overhead_us=2.0,
+        wear=WearConfig(dynamic=False, static=True, spread_threshold=2,
+                        check_every_erases=2),
+    )
+    ssd = SSD(sim, config)
+    region = int(ssd.capacity_bytes * 0.3) // 4096
+    rng = random.Random(7)
+
+    def next_request(i: int):
+        return OpType.WRITE, rng.randrange(region) * 4096, 4096
+
+    driver = ClosedLoopDriver(sim, ssd, next_request, count=2500, depth=4)
+    driver.run()
+    ssd.ftl.check_consistency()
+    return sim, ssd
+
+
+def test_same_seed_twice_is_identical():
+    assert _observables(*_run_main()) == _observables(*_run_main())
+
+
+def test_wear_workload_twice_is_identical():
+    assert _observables(*_run_wear()) == _observables(*_run_wear())
+
+
+def _assert_matches(observed: dict, golden: dict) -> None:
+    # events_run is implementation-defined (the event-free FIFO refactor is
+    # allowed to change how many events realize the same schedule); the
+    # simulated *behaviour* — stats, clock, busy time, erases — is not.
+    for key in ("final_clock_us", "stats", "busy_us", "erases"):
+        assert observed[key] == golden[key], (
+            f"{key} diverged from the recorded seed behaviour: "
+            f"{observed[key]!r} != {golden[key]!r}"
+        )
+
+
+def test_main_workload_matches_golden_snapshot():
+    observed = _observables(*_run_main())
+    _assert_matches(observed, GOLDEN_MAIN)
+    # these paths must actually have run, or this guardrail guards nothing
+    assert observed["stats"]["clean_erases"] > 0
+    assert observed["stats"]["rmw_pages_read"] > 0
+    assert observed["stats"]["trims"] > 0
+
+
+def test_wear_workload_matches_golden_snapshot():
+    observed = _observables(*_run_wear())
+    _assert_matches(observed, GOLDEN_WEAR)
+    assert observed["stats"]["wear_migrations"] > 0
+    assert observed["stats"]["clean_erases"] > 0

@@ -126,3 +126,52 @@ def test_pending_excludes_cancelled():
     sim.cancel(drop)
     assert sim.pending == 1
     assert keep.alive
+
+
+def test_pending_is_counter_based_and_exact():
+    # pending is O(1) (a live counter), so it must stay exact through any
+    # interleaving of schedule / cancel / double-cancel / run
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(6)]
+    assert sim.pending == 6
+    sim.cancel(events[0])
+    sim.cancel(events[0])  # idempotent: must not double-decrement
+    assert sim.pending == 5
+    sim.run(max_events=2)
+    assert sim.pending == 3
+    sim.cancel(events[3])
+    assert sim.pending == 2
+    sim.run_until_idle()
+    assert sim.pending == 0
+    sim.cancel(events[5])  # cancelling an already-run event is a no-op
+    assert sim.pending == 0
+
+
+def test_reschedule_reuses_one_event_object():
+    from repro.sim.engine import Event
+
+    sim = Simulator()
+    fired = []
+    event = Event(0.0, -1, fired.append, ("tick",))
+    event.alive = False
+    sim.reschedule(event, 5.0)
+    assert sim.pending == 1
+    sim.run_until_idle()
+    assert fired == ["tick"]
+    assert sim.now == 5.0
+    sim.reschedule(event, 7.0)  # same object, re-armed
+    sim.run_until_idle()
+    assert fired == ["tick", "tick"]
+    assert sim.now == 7.0
+    assert sim.pending == 0
+
+
+def test_reschedule_into_past_rejected():
+    from repro.sim.engine import Event
+
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run_until_idle()
+    event = Event(0.0, -1, lambda: None, ())
+    with pytest.raises(SimulationError):
+        sim.reschedule(event, 5.0)
