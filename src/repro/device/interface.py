@@ -64,6 +64,24 @@ class IORequest:
     submit_us: float = field(default=-1.0, compare=False)
     complete_us: float = field(default=-1.0, compare=False)
 
+    # -- device-internal dispatch plumbing (stamped by the SSD; not part of
+    # -- the host-visible request identity, hence compare=False/repr=False)
+
+    #: submission sequence number, restamped per submit from a process-wide
+    #: monotone counter: totally orders arrivals within a queue, and makes
+    #: lazily-stored queue/scheduler entries from a previous submission
+    #: unambiguously stale if the request object is ever resubmitted
+    seq: int = field(default=-1, compare=False, repr=False)
+    #: True while the request sits in the host queue (lazy-removal flag for
+    #: the arrival deque and the scheduler's heap entries)
+    queued: bool = field(default=False, compare=False, repr=False)
+    #: the request's NCQ slot was released before completion (write-back
+    #: cache ack, or the request was absorbed into another dispatch by
+    #: queue merging).  A per-request flag — unlike an ``id()``-keyed side
+    #: table, it cannot be corrupted by CPython reusing the id of a
+    #: garbage-collected request.
+    early_release: bool = field(default=False, compare=False, repr=False)
+
     @property
     def response_us(self) -> float:
         """Response time; valid only after completion."""

@@ -23,10 +23,10 @@ priority-aware cleaning.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Optional
 
 from repro.device.interface import DeviceStats, IORequest, OpType
-from repro.device.scheduler import make_scheduler
+from repro.device.scheduler import HostQueue, make_scheduler
 from repro.device.ssd_config import SSDConfig
 from repro.device.write_buffer import (
     AligningWriteBuffer,
@@ -108,10 +108,9 @@ class SSD:
         self.scheduler = make_scheduler(cfg.scheduler)
         self.link = SerialResource(sim, cfg.host_interface_mb_s)
         self._stats = DeviceStats()
-        self._queue: List[IORequest] = []
+        self.queue = HostQueue()
         self._inflight = 0
         self._pending_priority = 0
-        self._early_released: Set[int] = set()
 
         self.ftl.priority_probe = lambda: self._pending_priority
         self.ftl.on_space_freed = self._space_freed
@@ -134,7 +133,8 @@ class SSD:
         request.submit_us = self.sim.now
         if request.priority > 0:
             self._pending_priority += 1
-        self._queue.append(request)
+        self.queue.append(request)
+        self.scheduler.on_submit(request, self)
         self._pump()
 
     # ------------------------------------------------------------------
@@ -148,16 +148,16 @@ class SSD:
         return True
 
     def _pump(self) -> None:
-        while self._inflight < self.config.max_inflight and self._queue:
-            index = self.scheduler.select(self._queue, self)
-            if index is None:
-                head = self._queue[0] if self._queue else None
+        while self._inflight < self.config.max_inflight and self.queue:
+            request = self.scheduler.select(self)
+            if request is None:
+                head = self.queue.head()
                 if head is not None and head.op is OpType.WRITE:
                     self.ftl.stats.write_stalls += 1
                     # blocked on allocation headroom: force reclamation
                     self.ftl.ensure_space(head.offset, head.size)
                 return
-            request = self._queue.pop(index)
+            self.queue.remove(request)
             self._inflight += 1
             self.sim.schedule(
                 self.config.controller_overhead_us, self._dispatch, request
@@ -194,7 +194,7 @@ class SSD:
         as with real NCQ commands.
         """
         if getattr(self.write_buffer, "ack", None) == "insert":
-            self._early_released.add(id(request))
+            request.early_release = True
             self.write_buffer.insert(request, complete=self._complete)
             self._release_slot()
         else:
@@ -213,8 +213,8 @@ class SSD:
             self._pending_priority -= 1
             if self._pending_priority == 0:
                 self.ftl.priority_idle()
-        if id(request) in self._early_released:
-            self._early_released.discard(id(request))
+        if request.early_release:
+            request.early_release = False
         else:
             self._release_slot()
         if request.on_complete is not None:
@@ -232,17 +232,18 @@ class SSD:
         merged batch, so they never occupy a dispatch slot of their own).
         A stolen request may extend past ``hi``; the buffer grows its merge
         window and steals again, chaining contiguous streams.
+
+        Stolen requests are removed lazily (flag flip per request) rather
+        than by rebuilding the queue; the arrival deque and any scheduler
+        heap entries skip them on sight.
         """
         stolen: List[IORequest] = []
-        kept: List[IORequest] = []
-        for queued in self._queue:
+        for queued in self.queue:
             if queued.op is OpType.WRITE and lo <= queued.offset <= hi:
                 stolen.append(queued)
-                self._early_released.add(id(queued))
-            else:
-                kept.append(queued)
-        if stolen:
-            self._queue = kept
+        for request in stolen:
+            self.queue.remove(request)
+            request.early_release = True
         return stolen
 
     def _space_freed(self) -> None:
@@ -255,7 +256,7 @@ class SSD:
 
     @property
     def queued(self) -> int:
-        return len(self._queue)
+        return len(self.queue)
 
     @property
     def inflight(self) -> int:
@@ -267,6 +268,6 @@ class SSD:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<SSD {self.config.name} queued={len(self._queue)} "
+            f"<SSD {self.config.name} queued={len(self.queue)} "
             f"inflight={self._inflight}>"
         )

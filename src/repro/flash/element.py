@@ -104,6 +104,14 @@ class FlashElement:
         self._inflight: Optional[FlashOp] = None
         self._inflight_done_at: float = 0.0
         self._queued_us: float = 0.0  # total duration of queued (not inflight) ops
+        #: absolute simulated time at which everything currently enqueued
+        #: (inflight + FIFO) finishes.  Updated O(1) at enqueue only: popping
+        #: the next op moves work from the FIFO to the in-flight slot without
+        #: changing when the tail drains, and an idle element simply leaves a
+        #: stale (past) value behind — ``max(drain_at_us, now) - now`` is the
+        #: element's queue wait.  Monotonically non-decreasing, which is the
+        #: property the SWTF scheduler's lazy heap relies on.
+        self.drain_at_us: float = 0.0
         #: recycled FlashOp instances (slab; see module docstring of ops)
         self._op_pool: list[FlashOp] = []
         #: the one drain event realizing this element's FIFO on the clock
@@ -151,10 +159,12 @@ class FlashElement:
             self._inflight = op
             done_at = self.sim.now + op.duration_us
             self._inflight_done_at = done_at
+            self.drain_at_us = done_at
             self.sim.reschedule(self._drain, done_at)
         else:
             self._queue.append(op)
             self._queued_us += op.duration_us
+            self.drain_at_us += op.duration_us
 
     def _issue(self, kind: OpKind, nbytes: int, tag: str,
                callback: Optional[Callable[[float], None]],
@@ -185,10 +195,12 @@ class FlashElement:
             self._inflight = op
             done_at = self.sim.now + duration_us
             self._inflight_done_at = done_at
+            self.drain_at_us = done_at
             self.sim.reschedule(self._drain, done_at)
         else:
             self._queue.append(op)
             self._queued_us += duration_us
+            self.drain_at_us += duration_us
 
     def _on_drain(self) -> None:
         """The in-flight command finished: account, start the next, notify."""

@@ -15,7 +15,7 @@ Three FTL families, matching the device classes the paper measures:
   included as the classic mid-range baseline.
 """
 
-from repro.ftl.base import BaseFTL, DeviceFullError, FTLStats
+from repro.ftl.base import BaseFTL, DeviceFullError, FTLStats, StripeFTLBase
 from repro.ftl.cleaning import CleaningConfig, Cleaner
 from repro.ftl.pagemap import PageMappedFTL
 from repro.ftl.blockmap import BlockMappedFTL
@@ -24,6 +24,7 @@ from repro.ftl.wearlevel import WearConfig, WearLeveler
 
 __all__ = [
     "BaseFTL",
+    "StripeFTLBase",
     "DeviceFullError",
     "FTLStats",
     "CleaningConfig",

@@ -16,15 +16,18 @@ SSD layer above:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Set
+
+import numpy as np
 
 from repro.flash.element import FlashElement
-from repro.flash.ops import TAG_HOST
+from repro.flash.ops import TAG_CLEAN, TAG_HOST
+from repro.ftl.freepool import FreeBlockPool
 from repro.sim.engine import Simulator
 
 __all__ = [
-    "FTLStats", "BaseFTL", "DeviceFullError", "CompletionJoin",
-    "complete_async",
+    "FTLStats", "BaseFTL", "StripeFTLBase", "DeviceFullError",
+    "CompletionJoin", "complete_async",
 ]
 
 
@@ -93,15 +96,29 @@ class CompletionJoin:
     Only multi-op requests need a join; hot single-op paths attach ``done``
     straight to the flash op (see :func:`complete_async`), so a page-mapped
     4 KB write allocates no join at all.
+
+    Joins are **slab-recycled**: construct through
+    :meth:`BaseFTL.acquire_join` and the instance returns itself to the
+    FTL's free list when it fires, so steady-state multi-op traffic (gang
+    configs, stripe RMWs, log merges) allocates no join objects at all.
+    A join's lifetime is strictly ``acquire -> expect* -> arm -> children
+    complete -> fire``, and recycling happens inside the fire, so no live
+    reference can observe a reused instance.
     """
 
-    __slots__ = ("_remaining", "_done", "_sim", "_fired")
+    __slots__ = ("_remaining", "_done", "_sim", "_fired", "_slab")
 
-    def __init__(self, sim: Simulator, done: Optional[Callable[[float], None]]):
+    def __init__(
+        self,
+        sim: Simulator,
+        done: Optional[Callable[[float], None]],
+        slab: Optional[list] = None,
+    ):
         self._sim = sim
         self._done = done
         self._remaining = 0
         self._fired = False
+        self._slab = slab
 
     def expect(self, count: int = 1) -> None:
         self._remaining += count
@@ -125,8 +142,14 @@ class CompletionJoin:
         if self._fired:
             return
         self._fired = True
-        if self._done is not None:
-            self._done(now)
+        done = self._done
+        self._done = None
+        if self._slab is not None:
+            # recycle before the callback so a reentrant acquire may reuse
+            # this instance immediately
+            self._slab.append(self)
+        if done is not None:
+            done(now)
 
 
 class BaseFTL:
@@ -149,11 +172,28 @@ class BaseFTL:
         self.geometry = geom
         self.logical_capacity_bytes = logical_capacity_bytes
         self.stats = FTLStats()
+        #: recycled CompletionJoin instances (see CompletionJoin docstring)
+        self._join_slab: list = []
+        #: rotation cursor for sampled consistency checks
+        self._cc_cursor = 0
         #: consulted by priority-aware cleaning; the SSD points this at its
         #: own count of outstanding priority requests
         self.priority_probe: Callable[[], int] = lambda: 0
         #: hook fired when cleaning frees space (SSD retries stalled writes)
         self.on_space_freed: Optional[Callable[[], None]] = None
+
+    def acquire_join(
+        self, done: Optional[Callable[[float], None]]
+    ) -> CompletionJoin:
+        """Take a join from the slab (or build one wired to recycle)."""
+        slab = self._join_slab
+        if slab:
+            join = slab.pop()
+            join._done = done
+            join._remaining = 0
+            join._fired = False
+            return join
+        return CompletionJoin(self.sim, done, slab)
 
     # -- interface the SSD drives ----------------------------------------
 
@@ -208,6 +248,186 @@ class BaseFTL:
     def media_bytes_written(self) -> int:
         return self.stats.flash_pages_programmed * self.geometry.page_bytes
 
-    def check_consistency(self) -> None:  # pragma: no cover - overridden
-        """Verify internal invariants; used heavily by the test suite."""
+    def check_consistency(self, full: bool = True) -> None:
+        """Verify internal invariants; used heavily by the test suite.
+
+        ``full=True`` (the default) sweeps the whole device.  ``full=False``
+        is the *sampled* mode for per-iteration use inside workload sweeps:
+        it verifies one deterministically-rotating shard of the device
+        (an element or a gang, whatever :meth:`_check_shard` covers), so a
+        loop of N sampled checks still covers the device while costing
+        O(device/N) each.  Final asserts should stay on the full sweep.
+        """
+        n = self._consistency_shards()
+        if full:
+            for index in range(n):
+                self._check_shard(index)
+        else:
+            index = self._cc_cursor % n
+            self._cc_cursor += 1
+            self._check_shard(index)
+
+    def _consistency_shards(self) -> int:  # pragma: no cover - overridden
+        """Number of independently-checkable shards of the device."""
+        raise NotImplementedError
+
+    def _check_shard(self, index: int) -> None:  # pragma: no cover
+        """Verify the invariants of one shard (element/gang)."""
+        raise NotImplementedError
+
+
+class StripeFTLBase(BaseFTL):
+    """Shared machinery of the stripe-mapped (gang) FTLs.
+
+    Both :class:`repro.ftl.blockmap.BlockMappedFTL` and
+    :class:`repro.ftl.hybrid.HybridLogBlockFTL` map logical stripes (one
+    erase block per element of a gang, page-interleaved) onto physical rows.
+    This base owns that geometry plus the row lifecycle: per-gang
+    :class:`repro.ftl.freepool.FreeBlockPool` free pools (LIFO pulls, the
+    seed's list-``pop()`` order, but O(log n) and wear-queryable), and
+    background stripe retirement.  Subclasses add their mapping policy on
+    top.
+    """
+
+    #: appended to the DeviceFullError message (subclass hint)
+    _full_hint = ""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        elements: List[FlashElement],
+        shards: int,
+        user_rows_per_gang: int,
+    ) -> None:
+        geom = elements[0].geometry
+        self.shards = shards
+        self.n_gangs = len(elements) // shards
+        self.stripe_bytes = shards * geom.block_bytes
+        self.pages_per_stripe = shards * geom.pages_per_block
+        self.user_rows_per_gang = user_rows_per_gang
+        user_lbns = self.n_gangs * user_rows_per_gang
+        super().__init__(sim, elements, user_lbns * self.stripe_bytes)
+
+        # in-place page programming at arbitrary offsets (SLC-era behaviour)
+        for el in elements:
+            el.strict_program_order = False
+
+        rows_per_gang = geom.blocks_per_element
+        self._maps = [
+            np.full(user_rows_per_gang, -1, dtype=np.int64)
+            for _ in range(self.n_gangs)
+        ]
+        #: per-gang erased-row pools; a row's wear is read off the first
+        #: element of its gang (retirement erases a row on every element of
+        #: the gang, so counts move in lockstep)
+        self._pool: List[FreeBlockPool] = [
+            FreeBlockPool(
+                range(rows_per_gang),
+                memoryview(elements[gang * shards].erase_count),
+            )
+            for gang in range(self.n_gangs)
+        ]
+        self._retiring: List[Set[int]] = [set() for _ in range(self.n_gangs)]
+        #: rows a write may consume before stalling (frontier + one RMW;
+        #: subclasses with extra transient allocations raise this)
+        self.reserve_rows = 2
+
+    @staticmethod
+    def resolve_shards(elements: List[FlashElement], gang_size: Optional[int]) -> int:
+        shards = len(elements) if gang_size is None else gang_size
+        if shards <= 0 or len(elements) % shards:
+            raise ValueError(
+                f"element count {len(elements)} not divisible by gang size {shards}"
+            )
+        return shards
+
+    # -- address helpers -------------------------------------------------
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size <= 0 or offset + size > self.logical_capacity_bytes:
+            raise ValueError(
+                f"range [{offset}, {offset + size}) outside logical capacity "
+                f"{self.logical_capacity_bytes}"
+            )
+
+    def _gang_slot(self, lbn: int) -> tuple:
+        return lbn % self.n_gangs, lbn // self.n_gangs
+
+    def _element(self, gang: int, page_in_stripe: int) -> tuple:
+        """(element, local page) for a stripe-relative flash page index."""
+        j = page_in_stripe % self.shards
+        local = page_in_stripe // self.shards
+        return self.elements[gang * self.shards + j], local
+
+    # -- row lifecycle ---------------------------------------------------
+
+    def _alloc_row(self, gang: int) -> int:
+        pool = self._pool[gang]
+        if not pool:
+            raise DeviceFullError(
+                f"gang {gang}: no erased stripes left{self._full_hint}"
+            )
+        return pool.pop_lifo()
+
+    def _retire_row(self, gang: int, row: int) -> None:
+        """Erase a fully-invalidated stripe in the background and return it
+        to the pool once every element finishes."""
+        self._retiring[gang].add(row)
+        remaining = [self.shards]
+
+        def _one_done(now: float) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self._retiring[gang].discard(row)
+                self._pool[gang].push(row)
+                self._space_freed()
+
+        timing = self.elements[gang * self.shards].timing
+        for j in range(self.shards):
+            el = self.elements[gang * self.shards + j]
+            el.erase_block(row, tag=TAG_CLEAN, callback=_one_done)
+            self.stats.clean_erases += 1
+            self.stats.clean_time_us += timing.erase_us()
+
+    # -- admission / introspection ---------------------------------------
+
+    def can_accept_write(self, offset: int, size: int) -> bool:
+        sb = self.stripe_bytes
+        end = offset + size
+        needed: Dict[int, int] = {}
+        for lbn in range(offset // sb, (end - 1) // sb + 1):
+            gang = lbn % self.n_gangs
+            needed[gang] = needed.get(gang, 0) + 1
+        return all(
+            len(self._pool[gang]) - count >= self.reserve_rows
+            for gang, count in needed.items()
+        )
+
+    def elements_for_range(self, offset: int, size: int) -> List[int]:
+        sb = self.stripe_bytes
+        shards = self.shards
+        end = offset + size
+        out: Set[int] = set()
+        for lbn in range(offset // sb, (end - 1) // sb + 1):
+            gang = lbn % self.n_gangs
+            out.update(range(gang * shards, (gang + 1) * shards))
+        return sorted(out)
+
+    def mapped_row(self, lbn: int) -> int:
+        """Physical stripe row of *lbn* (-1 if unmapped); test hook."""
+        gang, slot = self._gang_slot(lbn)
+        return int(self._maps[gang][slot])
+
+    def free_rows(self, gang: int) -> int:
+        return len(self._pool[gang])
+
+    # -- consistency -----------------------------------------------------
+
+    def _consistency_shards(self) -> int:
+        return self.n_gangs
+
+    def _check_shard(self, index: int) -> None:
+        self._check_gang(index)
+
+    def _check_gang(self, gang: int) -> None:  # pragma: no cover - overridden
         raise NotImplementedError

@@ -17,23 +17,29 @@ in Table 2 and the saw-tooth of Figure 2:
 
 There is no separate cleaner: reclamation is inline (the erase after each
 RMW), as on the simple devices this models.
+
+Stripe rows live in per-gang :class:`repro.ftl.freepool.FreeBlockPool`
+pools (via :class:`repro.ftl.base.StripeFTLBase`), completion joins are
+slab-recycled, and single-page requests ride join-free with ``done``
+attached directly to the flash op — the same fast-path architecture as
+:class:`repro.ftl.pagemap.PageMappedFTL`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.flash.element import FlashElement, PageState
-from repro.flash.ops import TAG_CLEAN, TAG_HOST
-from repro.ftl.base import BaseFTL, CompletionJoin, DeviceFullError
+from repro.flash.ops import TAG_HOST
+from repro.ftl.base import CompletionJoin, StripeFTLBase, complete_async
 from repro.sim.engine import Simulator
 
 __all__ = ["BlockMappedFTL"]
 
 
-class BlockMappedFTL(BaseFTL):
+class BlockMappedFTL(StripeFTLBase):
     """Stripe-granularity mapping with read-modify-erase-write (see module
     docstring)."""
 
@@ -44,86 +50,15 @@ class BlockMappedFTL(BaseFTL):
         gang_size: Optional[int] = None,
         spare_fraction: float = 0.06,
     ) -> None:
-        shards = len(elements) if gang_size is None else gang_size
-        if shards <= 0 or len(elements) % shards:
-            raise ValueError(
-                f"element count {len(elements)} not divisible by gang size {shards}"
-            )
+        shards = self.resolve_shards(elements, gang_size)
         if not 0.0 < spare_fraction < 1.0:
             raise ValueError(f"spare_fraction must be in (0, 1), got {spare_fraction}")
         geom = elements[0].geometry
-        self.shards = shards
-        self.n_gangs = len(elements) // shards
-        self.stripe_bytes = shards * geom.block_bytes
-        self.pages_per_stripe = shards * geom.pages_per_block
-
-        rows_per_gang = geom.blocks_per_element
-        self.user_rows_per_gang = int(rows_per_gang * (1.0 - spare_fraction))
-        if self.user_rows_per_gang <= 0:
+        user_rows = int(geom.blocks_per_element * (1.0 - spare_fraction))
+        if user_rows <= 0:
             raise ValueError("device too small for the requested spare fraction")
-        user_lbns = self.n_gangs * self.user_rows_per_gang
-        super().__init__(sim, elements, user_lbns * self.stripe_bytes)
-
-        # in-place page programming at arbitrary offsets (SLC-era behaviour)
-        for el in elements:
-            el.strict_program_order = False
-
-        self._maps = [
-            np.full(self.user_rows_per_gang, -1, dtype=np.int64)
-            for _ in range(self.n_gangs)
-        ]
-        self._pool: List[List[int]] = [
-            list(range(rows_per_gang)) for _ in range(self.n_gangs)
-        ]
-        self._retiring: List[Set[int]] = [set() for _ in range(self.n_gangs)]
-        #: rows a write may consume before stalling (frontier + one RMW)
-        self.reserve_rows = 2
-
-    # ------------------------------------------------------------------
-    # helpers
-    # ------------------------------------------------------------------
-
-    def _check_range(self, offset: int, size: int) -> None:
-        if offset < 0 or size <= 0 or offset + size > self.logical_capacity_bytes:
-            raise ValueError(
-                f"range [{offset}, {offset + size}) outside logical capacity "
-                f"{self.logical_capacity_bytes}"
-            )
-
-    def _gang_slot(self, lbn: int) -> tuple[int, int]:
-        return lbn % self.n_gangs, lbn // self.n_gangs
-
-    def _element(self, gang: int, page_in_stripe: int) -> tuple[FlashElement, int]:
-        """(element, local page) for a stripe-relative flash page index."""
-        j = page_in_stripe % self.shards
-        local = page_in_stripe // self.shards
-        return self.elements[gang * self.shards + j], local
-
-    def _alloc_row(self, gang: int) -> int:
-        pool = self._pool[gang]
-        if not pool:
-            raise DeviceFullError(f"gang {gang}: no erased stripes left")
-        return pool.pop()
-
-    def _retire_row(self, gang: int, row: int) -> None:
-        """Erase a fully-invalidated stripe in the background and return it
-        to the pool once every element finishes."""
-        self._retiring[gang].add(row)
-        remaining = [self.shards]
-
-        def _one_done(now: float) -> None:
-            remaining[0] -= 1
-            if remaining[0] == 0:
-                self._retiring[gang].discard(row)
-                self._pool[gang].append(row)
-                self._space_freed()
-
-        timing = self.elements[gang * self.shards].timing
-        for j in range(self.shards):
-            el = self.elements[gang * self.shards + j]
-            el.erase_block(row, tag=TAG_CLEAN, callback=_one_done)
-            self.stats.clean_erases += 1
-            self.stats.clean_time_us += timing.erase_us()
+        super().__init__(sim, elements, shards, user_rows)
+        # reserve_rows stays at the StripeFTLBase default (frontier + one RMW)
 
     # ------------------------------------------------------------------
     # host interface
@@ -138,11 +73,29 @@ class BlockMappedFTL(BaseFTL):
         temp: str = "hot",
     ) -> None:
         self._check_range(offset, size)
-        join = CompletionJoin(self.sim, done)
         sb = self.stripe_bytes
         fp = self.geometry.page_bytes
         end = offset + size
 
+        if (offset % fp) + size <= fp:
+            # fast path: a single-page append into a mapped stripe — the
+            # sequential-stream common case — needs exactly one program, so
+            # ``done`` rides join-free on the flash op.  Everything else
+            # (fresh stripes, RMW, multi-page) falls into the general loop.
+            lbn = offset // sb
+            a = offset - lbn * sb
+            gang, slot = self._gang_slot(lbn)
+            row = int(self._maps[gang][slot])
+            p = a // fp
+            if row >= 0 and self._one_free(gang, row, p):
+                self.stats.host_pages_written += 1
+                self.stats.host_writes += 1
+                el, local = self._element(gang, p)
+                el.program_page(row, local, slot, tag=tag, callback=done)
+                self.stats.flash_pages_programmed += 1
+                return
+
+        join = self.acquire_join(done)
         for lbn in range(offset // sb, (end - 1) // sb + 1):
             base = lbn * sb
             a = max(offset, base) - base
@@ -163,6 +116,10 @@ class BlockMappedFTL(BaseFTL):
 
         self.stats.host_writes += 1
         join.arm()
+
+    def _one_free(self, gang: int, row: int, p: int) -> bool:
+        el, local = self._element(gang, p)
+        return el.page_state[row, local] == PageState.FREE
 
     def _all_free(self, gang: int, row: int, p0: int, p1: int) -> bool:
         for p in range(p0, p1 + 1):
@@ -252,11 +209,34 @@ class BlockMappedFTL(BaseFTL):
         tag: str = TAG_HOST,
     ) -> None:
         self._check_range(offset, size)
-        join = CompletionJoin(self.sim, done)
         sb = self.stripe_bytes
         fp = self.geometry.page_bytes
         end = offset + size
 
+        if (offset % fp) + size <= fp:
+            # fast path: one flash page on one element (pages are aligned
+            # within stripes, so one page implies one stripe); ``done``
+            # rides directly on the single read op (holes complete via a
+            # zero-delay event, preserving the no-reentrant-done contract)
+            lbn = offset // sb
+            base = lbn * sb
+            a = offset - base
+            gang, slot = self._gang_slot(lbn)
+            row = int(self._maps[gang][slot])
+            self.stats.host_pages_read += 1
+            self.stats.host_reads += 1
+            if row < 0:
+                complete_async(self.sim, done)
+                return
+            p = a // fp
+            el, local = self._element(gang, p)
+            if el.page_state[row, local] != PageState.VALID:
+                complete_async(self.sim, done)
+                return
+            el.read_page(row, local, nbytes=size, tag=tag, callback=done)
+            return
+
+        join = self.acquire_join(done)
         for lbn in range(offset // sb, (end - 1) // sb + 1):
             base = lbn * sb
             a = max(offset, base) - base
@@ -317,58 +297,26 @@ class BlockMappedFTL(BaseFTL):
 
     # ------------------------------------------------------------------
 
-    def can_accept_write(self, offset: int, size: int) -> bool:
-        sb = self.stripe_bytes
-        end = offset + size
-        needed: dict[int, int] = {}
-        for lbn in range(offset // sb, (end - 1) // sb + 1):
-            gang = lbn % self.n_gangs
-            needed[gang] = needed.get(gang, 0) + 1
-        return all(
-            len(self._pool[gang]) - count >= self.reserve_rows
-            for gang, count in needed.items()
-        )
-
-    def elements_for_range(self, offset: int, size: int) -> List[int]:
-        sb = self.stripe_bytes
-        end = offset + size
-        out: Set[int] = set()
-        for lbn in range(offset // sb, (end - 1) // sb + 1):
-            gang = lbn % self.n_gangs
-            out.update(range(gang * self.shards, (gang + 1) * self.shards))
-        return sorted(out)
-
-    def mapped_row(self, lbn: int) -> int:
-        """Physical stripe row of *lbn* (-1 if unmapped); test hook."""
-        gang, slot = self._gang_slot(lbn)
-        return int(self._maps[gang][slot])
-
-    def free_rows(self, gang: int) -> int:
-        return len(self._pool[gang])
-
-    # ------------------------------------------------------------------
-
-    def check_consistency(self) -> None:
+    def _check_gang(self, gang: int) -> None:
         """Every row is mapped, pooled, retiring, or fully free; counts agree."""
-        for gang in range(self.n_gangs):
-            mapped = set(int(r) for r in self._maps[gang] if r >= 0)
-            pool = set(self._pool[gang])
-            retiring = set(self._retiring[gang])
-            assert not mapped & pool, f"gang {gang}: mapped rows in pool"
-            assert not mapped & retiring, f"gang {gang}: mapped rows retiring"
-            assert not pool & retiring, f"gang {gang}: pooled rows retiring"
-            for j in range(self.shards):
-                el = self.elements[gang * self.shards + j]
-                recount = (el.page_state == PageState.VALID).sum(axis=1)
-                assert (recount == el.valid_count).all(), (
-                    f"element {gang * self.shards + j}: valid_count out of sync"
+        mapped = set(int(r) for r in self._maps[gang] if r >= 0)
+        pool = set(self._pool[gang])
+        retiring = set(self._retiring[gang])
+        assert not mapped & pool, f"gang {gang}: mapped rows in pool"
+        assert not mapped & retiring, f"gang {gang}: mapped rows retiring"
+        assert not pool & retiring, f"gang {gang}: pooled rows retiring"
+        for j in range(self.shards):
+            el = self.elements[gang * self.shards + j]
+            recount = (el.page_state == PageState.VALID).sum(axis=1)
+            assert (recount == el.valid_count).all(), (
+                f"element {gang * self.shards + j}: valid_count out of sync"
+            )
+            live = set(np.nonzero(el.valid_count > 0)[0].tolist())
+            assert live <= mapped, (
+                f"element {gang * self.shards + j}: valid pages outside "
+                f"mapped rows: {sorted(live - mapped)[:5]}"
+            )
+            for row in pool:
+                assert el.write_ptr[row] == 0, (
+                    f"gang {gang}: pooled row {row} not erased"
                 )
-                live = set(np.nonzero(el.valid_count > 0)[0].tolist())
-                assert live <= mapped, (
-                    f"element {gang * self.shards + j}: valid pages outside "
-                    f"mapped rows: {sorted(live - mapped)[:5]}"
-                )
-                for row in pool:
-                    assert el.write_ptr[row] == 0, (
-                        f"gang {gang}: pooled row {row} not erased"
-                    )

@@ -16,24 +16,33 @@ Limitations (documented, acceptable for a baseline): a merge transiently
 allocates one fresh row per logical stripe present in the victim log stripe,
 so the spare pool must be provisioned for the workload's locality;
 pathological footprints raise :class:`repro.ftl.base.DeviceFullError`.
+
+Row pools, stripe retirement, and admission control come from
+:class:`repro.ftl.base.StripeFTLBase` (heap-ordered
+:class:`repro.ftl.freepool.FreeBlockPool` per gang); completion joins are
+slab-recycled and single-page reads ride join-free, matching the
+page-mapped FTL's fast-path architecture.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-import numpy as np
-
 from repro.flash.element import FlashElement, PageState
 from repro.flash.ops import TAG_CLEAN, TAG_HOST
-from repro.ftl.base import BaseFTL, CompletionJoin, DeviceFullError
+from repro.ftl.base import CompletionJoin, StripeFTLBase, complete_async
 from repro.sim.engine import Simulator
 
 __all__ = ["HybridLogBlockFTL"]
 
 
-class HybridLogBlockFTL(BaseFTL):
+class HybridLogBlockFTL(StripeFTLBase):
     """Block-mapped base plus page-mapped log stripes (see module docstring)."""
+
+    _full_hint = (
+        " (log merge pressure; increase spare_fraction or reduce workload "
+        "footprint)"
+    )
 
     def __init__(
         self,
@@ -43,39 +52,16 @@ class HybridLogBlockFTL(BaseFTL):
         spare_fraction: float = 0.10,
         max_log_rows: int = 4,
     ) -> None:
-        shards = len(elements) if gang_size is None else gang_size
-        if shards <= 0 or len(elements) % shards:
-            raise ValueError(
-                f"element count {len(elements)} not divisible by gang size {shards}"
-            )
+        shards = self.resolve_shards(elements, gang_size)
         if max_log_rows < 1:
             raise ValueError("need at least one log row")
         geom = elements[0].geometry
-        self.shards = shards
-        self.n_gangs = len(elements) // shards
-        self.stripe_bytes = shards * geom.block_bytes
-        self.pages_per_stripe = shards * geom.pages_per_block
-        self.max_log_rows = max_log_rows
-
-        rows_per_gang = geom.blocks_per_element
-        usable = int(rows_per_gang * (1.0 - spare_fraction)) - max_log_rows
+        usable = int(geom.blocks_per_element * (1.0 - spare_fraction)) - max_log_rows
         if usable <= 0:
             raise ValueError("device too small for spare fraction + log rows")
-        self.user_rows_per_gang = usable
-        user_lbns = self.n_gangs * self.user_rows_per_gang
-        super().__init__(sim, elements, user_lbns * self.stripe_bytes)
+        self.max_log_rows = max_log_rows
+        super().__init__(sim, elements, shards, usable)
 
-        for el in elements:
-            el.strict_program_order = False
-
-        self._maps = [
-            np.full(self.user_rows_per_gang, -1, dtype=np.int64)
-            for _ in range(self.n_gangs)
-        ]
-        self._pool: List[List[int]] = [
-            list(range(rows_per_gang)) for _ in range(self.n_gangs)
-        ]
-        self._retiring: List[Set[int]] = [set() for _ in range(self.n_gangs)]
         # log state per gang
         self._log_rows: List[List[int]] = [[] for _ in range(self.n_gangs)]
         self._log_fill: List[int] = [self.pages_per_stripe] * self.n_gangs
@@ -89,51 +75,6 @@ class HybridLogBlockFTL(BaseFTL):
         ]
         self.reserve_rows = 8
         self.merges_performed = 0
-
-    # ------------------------------------------------------------------
-    # shared helpers (mirroring blockmap)
-    # ------------------------------------------------------------------
-
-    def _check_range(self, offset: int, size: int) -> None:
-        if offset < 0 or size <= 0 or offset + size > self.logical_capacity_bytes:
-            raise ValueError(
-                f"range [{offset}, {offset + size}) outside logical capacity "
-                f"{self.logical_capacity_bytes}"
-            )
-
-    def _gang_slot(self, lbn: int) -> tuple[int, int]:
-        return lbn % self.n_gangs, lbn // self.n_gangs
-
-    def _element(self, gang: int, page_in_stripe: int) -> tuple[FlashElement, int]:
-        j = page_in_stripe % self.shards
-        return self.elements[gang * self.shards + j], page_in_stripe // self.shards
-
-    def _alloc_row(self, gang: int) -> int:
-        pool = self._pool[gang]
-        if not pool:
-            raise DeviceFullError(
-                f"gang {gang}: no erased stripes left (log merge pressure; "
-                "increase spare_fraction or reduce workload footprint)"
-            )
-        return pool.pop()
-
-    def _retire_row(self, gang: int, row: int) -> None:
-        self._retiring[gang].add(row)
-        remaining = [self.shards]
-
-        def _one_done(now: float) -> None:
-            remaining[0] -= 1
-            if remaining[0] == 0:
-                self._retiring[gang].discard(row)
-                self._pool[gang].append(row)
-                self._space_freed()
-
-        timing = self.elements[gang * self.shards].timing
-        for j in range(self.shards):
-            el = self.elements[gang * self.shards + j]
-            el.erase_block(row, tag=TAG_CLEAN, callback=_one_done)
-            self.stats.clean_erases += 1
-            self.stats.clean_time_us += timing.erase_us()
 
     # ------------------------------------------------------------------
     # log machinery
@@ -256,11 +197,11 @@ class HybridLogBlockFTL(BaseFTL):
         temp: str = "hot",
     ) -> None:
         self._check_range(offset, size)
-        join = CompletionJoin(self.sim, done)
         sb = self.stripe_bytes
         fp = self.geometry.page_bytes
         end = offset + size
 
+        join = self.acquire_join(done)
         for lbn in range(offset // sb, (end - 1) // sb + 1):
             base = lbn * sb
             a = max(offset, base) - base
@@ -348,11 +289,37 @@ class HybridLogBlockFTL(BaseFTL):
         tag: str = TAG_HOST,
     ) -> None:
         self._check_range(offset, size)
-        join = CompletionJoin(self.sim, done)
         sb = self.stripe_bytes
         fp = self.geometry.page_bytes
         end = offset + size
 
+        if (offset % fp) + size <= fp:
+            # fast path: one flash page, newest copy from log or data row;
+            # ``done`` rides directly on the single read op (holes complete
+            # via a zero-delay event)
+            lbn = offset // sb
+            base = lbn * sb
+            a = offset - base
+            gang, slot = self._gang_slot(lbn)
+            p = a // fp
+            self.stats.host_pages_read += 1
+            self.stats.host_reads += 1
+            entry = self._log_index[gang].get((slot, p))
+            if entry is not None:
+                lrow, lpos = entry
+                el, local = self._element(gang, lpos)
+                el.read_page(lrow, local, nbytes=size, tag=tag, callback=done)
+                return
+            row = int(self._maps[gang][slot])
+            if row >= 0:
+                el, local = self._element(gang, p)
+                if el.page_state[row, local] == PageState.VALID:
+                    el.read_page(row, local, nbytes=size, tag=tag, callback=done)
+                    return
+            complete_async(self.sim, done)
+            return
+
+        join = self.acquire_join(done)
         for lbn in range(offset // sb, (end - 1) // sb + 1):
             base = lbn * sb
             a = max(offset, base) - base
@@ -425,44 +392,20 @@ class HybridLogBlockFTL(BaseFTL):
 
     # ------------------------------------------------------------------
 
-    def can_accept_write(self, offset: int, size: int) -> bool:
-        sb = self.stripe_bytes
-        end = offset + size
-        needed: dict[int, int] = {}
-        for lbn in range(offset // sb, (end - 1) // sb + 1):
-            gang = lbn % self.n_gangs
-            needed[gang] = needed.get(gang, 0) + 1
-        return all(
-            len(self._pool[gang]) - count >= self.reserve_rows
-            for gang, count in needed.items()
-        )
-
-    def elements_for_range(self, offset: int, size: int) -> List[int]:
-        sb = self.stripe_bytes
-        end = offset + size
-        out: Set[int] = set()
-        for lbn in range(offset // sb, (end - 1) // sb + 1):
-            gang = lbn % self.n_gangs
-            out.update(range(gang * self.shards, (gang + 1) * self.shards))
-        return sorted(out)
-
-    # ------------------------------------------------------------------
-
-    def check_consistency(self) -> None:
+    def _check_gang(self, gang: int) -> None:
         """Log index entries point at VALID pages; valid counts agree."""
-        for gang in range(self.n_gangs):
-            for (slot, p), (lrow, lpos) in self._log_index[gang].items():
-                el, local = self._element(gang, lpos)
-                assert el.page_state[lrow, local] == PageState.VALID, (
-                    f"gang {gang}: log entry ({slot},{p}) -> ({lrow},{lpos}) "
-                    "not VALID"
-                )
-                assert lrow in self._log_rows[gang], (
-                    f"gang {gang}: log entry points at non-log row {lrow}"
-                )
-            for j in range(self.shards):
-                el = self.elements[gang * self.shards + j]
-                recount = (el.page_state == PageState.VALID).sum(axis=1)
-                assert (recount == el.valid_count).all(), (
-                    f"element {gang * self.shards + j}: valid_count out of sync"
-                )
+        for (slot, p), (lrow, lpos) in self._log_index[gang].items():
+            el, local = self._element(gang, lpos)
+            assert el.page_state[lrow, local] == PageState.VALID, (
+                f"gang {gang}: log entry ({slot},{p}) -> ({lrow},{lpos}) "
+                "not VALID"
+            )
+            assert lrow in self._log_rows[gang], (
+                f"gang {gang}: log entry points at non-log row {lrow}"
+            )
+        for j in range(self.shards):
+            el = self.elements[gang * self.shards + j]
+            recount = (el.page_state == PageState.VALID).sum(axis=1)
+            assert (recount == el.valid_count).all(), (
+                f"element {gang * self.shards + j}: valid_count out of sync"
+            )

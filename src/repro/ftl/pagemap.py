@@ -37,7 +37,6 @@ from repro.flash.element import FlashElement, PageState
 from repro.flash.ops import TAG_HOST
 from repro.ftl.base import (
     BaseFTL,
-    CompletionJoin,
     DeviceFullError,
     complete_async,
 )
@@ -236,7 +235,7 @@ class PageMappedFTL(BaseFTL):
                 old_page = old % ppb
                 if size < lp:
                     # merge read: the old page contributes surviving bytes
-                    join = CompletionJoin(self.sim, done)
+                    join = self.acquire_join(done)
                     join.expect(2)
                     callback = join.child_done
                     el.read_page(old_block, old_page, nbytes=lp, tag=tag,
@@ -252,7 +251,7 @@ class PageMappedFTL(BaseFTL):
             self.cleaner.maybe_clean(e_idx)
             return
 
-        join = CompletionJoin(self.sim, done)
+        join = self.acquire_join(done)
         child_done = join.child_done
         expect = join.expect
         stats = self.stats
@@ -342,7 +341,7 @@ class PageMappedFTL(BaseFTL):
             )
             return
 
-        join = CompletionJoin(self.sim, done)
+        join = self.acquire_join(done)
         child_done = join.child_done
         expect = join.expect
         stats = self.stats
@@ -471,46 +470,51 @@ class PageMappedFTL(BaseFTL):
     # invariants
     # ------------------------------------------------------------------
 
-    def check_consistency(self) -> None:
-        """Verify map/reverse-map agreement and free accounting.
+    def _consistency_shards(self) -> int:
+        return len(self.elements)
+
+    def _check_shard(self, index: int) -> None:
+        """Verify one element's map/reverse-map agreement and free
+        accounting (``check_consistency`` drives the full/sampled sweep).
 
         Raises AssertionError on the first violation; the test suite calls
-        this after every workload it runs.
+        the sweep after every workload it runs.
         """
+        e_idx = index
         geom = self.geometry
         ppb = geom.pages_per_block
-        for e_idx, el in enumerate(self.elements):
-            emap = self._maps[e_idx]
-            # every mapped slot points at a VALID page tagged with the slot
-            mapped = np.nonzero(emap >= 0)[0]
-            for slot in mapped:
-                ppn = int(emap[slot])
-                blk, pg = geom.block_of(ppn), geom.page_of(ppn)
-                assert el.page_state[blk, pg] == PageState.VALID, (
-                    f"element {e_idx} slot {slot}: mapped ppn {ppn} not VALID"
-                )
-                assert el.reverse_lpn[blk, pg] == slot, (
-                    f"element {e_idx} slot {slot}: reverse tag "
-                    f"{el.reverse_lpn[blk, pg]} != slot"
-                )
-            # every VALID page is mapped back from its reverse tag
-            valid_total = int((el.page_state == PageState.VALID).sum())
-            assert valid_total == len(mapped), (
-                f"element {e_idx}: {valid_total} VALID pages but "
-                f"{len(mapped)} mapped slots"
+        el = self.elements[e_idx]
+        emap = self._maps[e_idx]
+        # every mapped slot points at a VALID page tagged with the slot
+        mapped = np.nonzero(emap >= 0)[0]
+        for slot in mapped:
+            ppn = int(emap[slot])
+            blk, pg = geom.block_of(ppn), geom.page_of(ppn)
+            assert el.page_state[blk, pg] == PageState.VALID, (
+                f"element {e_idx} slot {slot}: mapped ppn {ppn} not VALID"
             )
-            # per-block valid counts agree with the state array
-            recount = (el.page_state == PageState.VALID).sum(axis=1)
-            assert (recount == el.valid_count).all(), (
-                f"element {e_idx}: valid_count out of sync"
+            assert el.reverse_lpn[blk, pg] == slot, (
+                f"element {e_idx} slot {slot}: reverse tag "
+                f"{el.reverse_lpn[blk, pg]} != slot"
             )
-            # free accounting: pool blocks contribute ppb, frontiers their tail
-            free = sum(
-                ppb - int(el.write_ptr[b]) for b in self._pool[e_idx]
-            )
-            for frontier in self._frontier[e_idx].values():
-                free += ppb - int(el.write_ptr[frontier])
-            assert free == self._free[e_idx], (
-                f"element {e_idx}: computed free {free} != tracked "
-                f"{self._free[e_idx]}"
-            )
+        # every VALID page is mapped back from its reverse tag
+        valid_total = int((el.page_state == PageState.VALID).sum())
+        assert valid_total == len(mapped), (
+            f"element {e_idx}: {valid_total} VALID pages but "
+            f"{len(mapped)} mapped slots"
+        )
+        # per-block valid counts agree with the state array
+        recount = (el.page_state == PageState.VALID).sum(axis=1)
+        assert (recount == el.valid_count).all(), (
+            f"element {e_idx}: valid_count out of sync"
+        )
+        # free accounting: pool blocks contribute ppb, frontiers their tail
+        free = sum(
+            ppb - int(el.write_ptr[b]) for b in self._pool[e_idx]
+        )
+        for frontier in self._frontier[e_idx].values():
+            free += ppb - int(el.write_ptr[frontier])
+        assert free == self._free[e_idx], (
+            f"element {e_idx}: computed free {free} != tracked "
+            f"{self._free[e_idx]}"
+        )

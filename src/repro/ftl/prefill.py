@@ -142,7 +142,7 @@ def prefill_stripe_ftl(
         gang, slot = ftl._gang_slot(lbn)
         if ftl._maps[gang][slot] >= 0:
             continue
-        row = ftl._pool[gang].pop(0)
+        row = ftl._pool[gang].pop_fifo()
         ftl._maps[gang][slot] = row
         for j in range(ftl.shards):
             el = ftl.elements[gang * ftl.shards + j]

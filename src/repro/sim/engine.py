@@ -17,6 +17,12 @@ Design notes
   :class:`repro.flash.element.FlashElement`) allocate one :class:`Event` up
   front and re-arm it with :meth:`Simulator.reschedule`, so steady-state
   simulation pushes no new Event objects at all.
+* A second, negative sequence lane (:meth:`Simulator.schedule_at_front`)
+  exists for *external stimulus*: events that must win every same-timestamp
+  tie against simulation-internal events, exactly as if they had all been
+  scheduled before the run started.  The streaming trace feeder uses it so
+  lazily-fed submissions order identically to the old
+  schedule-everything-up-front replay.
 """
 
 from __future__ import annotations
@@ -25,6 +31,11 @@ import heapq
 from typing import Any, Callable, Optional
 
 __all__ = ["Event", "Simulator", "SimulationError"]
+
+#: base of the front-lane sequence counter: far below 0 so every front-lane
+#: event outranks every normal event at the same timestamp, while front-lane
+#: events keep their own scheduling order among themselves
+_FRONT_SEQ_BASE = -(2 ** 62)
 
 
 class SimulationError(RuntimeError):
@@ -67,6 +78,7 @@ class Simulator:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
+        self._front_seq: int = _FRONT_SEQ_BASE
         self._events_run: int = 0
         self._alive: int = 0
 
@@ -86,6 +98,29 @@ class Simulator:
             )
         seq = self._seq
         self._seq = seq + 1
+        event = Event(time_us, seq, fn, args)
+        heapq.heappush(self._heap, (time_us, seq, event))
+        self._alive += 1
+        return event
+
+    def schedule_at_front(self, time_us: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at *time_us*, ahead of every normal event
+        with the same timestamp.
+
+        Front-lane events draw from a separate (deeply negative) sequence
+        counter, so they (a) beat any same-time event scheduled through
+        :meth:`schedule`/:meth:`schedule_at`/:meth:`reschedule`, and (b)
+        keep their own scheduling order among themselves.  This models
+        external stimulus — trace records arriving from the host — which
+        must order exactly as if the whole trace had been scheduled before
+        the simulation started (the streaming replay contract).
+        """
+        if time_us < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time_us} before current time {self.now}"
+            )
+        seq = self._front_seq
+        self._front_seq = seq + 1
         event = Event(time_us, seq, fn, args)
         heapq.heappush(self._heap, (time_us, seq, event))
         self._alive += 1

@@ -6,6 +6,22 @@
 * :class:`ClosedLoopDriver` — keeps a fixed number of requests outstanding,
   drawing the next operation from a generator; used by the
   microbenchmarks (Table 2) and the SWTF experiment.
+
+Streaming replay
+----------------
+The seed ``replay_trace`` pre-scheduled one event per trace record, so a
+million-record trace put a million events in the heap before the first one
+ran.  The replay now *streams*: a bounded window of upcoming submissions is
+kept scheduled (default :data:`REPLAY_WINDOW`), and each fired submission
+feeds the next record from the iterator, so heap growth is O(window)
+regardless of trace length.  Submissions ride the simulator's front lane
+(:meth:`repro.sim.engine.Simulator.schedule_at_front`), which preserves the
+pre-scheduling semantics exactly: a trace arrival at time *t* always runs
+before any simulation-internal event at the same *t*, and arrivals keep
+record order among themselves.  The only requirement streaming adds is that
+record timestamps be sorted to within the window (every generator in
+:mod:`repro.traces` emits sorted traces); pass ``window=None`` to fall back
+to full pre-scheduling for pathological inputs.
 """
 
 from __future__ import annotations
@@ -19,7 +35,12 @@ from repro.sim.stats import LatencyRecorder, LatencySummary
 from repro.traces.record import TraceOp, TraceRecord
 from repro.units import mb_per_s
 
-__all__ = ["WorkloadResult", "replay_trace", "ClosedLoopDriver"]
+__all__ = ["WorkloadResult", "replay_trace", "ClosedLoopDriver",
+           "REPLAY_WINDOW"]
+
+#: default bound on concurrently-scheduled future submissions in
+#: :func:`replay_trace` (heap memory is O(window), not O(trace length))
+REPLAY_WINDOW = 4096
 
 
 @dataclass
@@ -71,12 +92,17 @@ def replay_trace(
     records: Iterable[TraceRecord],
     time_scale: float = 1.0,
     collect_frees: bool = False,
+    window: Optional[int] = REPLAY_WINDOW,
 ) -> WorkloadResult:
     """Open-loop replay: submit each record at ``time_us * time_scale``.
 
     Returns after the event queue drains.  READ/WRITE completions are
     collected (FREEs too with ``collect_frees``); ``elapsed_us`` spans first
     submission to last completion.
+
+    At most ``window`` future submissions are scheduled at once (see the
+    module docstring); ``window=None`` pre-schedules the whole trace, which
+    accepts arbitrarily unsorted timestamps at O(trace) heap cost.
     """
     result = WorkloadResult()
     start = sim.now
@@ -96,8 +122,35 @@ def replay_trace(
             )
         )
 
-    for record in records:
-        sim.schedule_at(start + record.time_us * time_scale, submit, record)
+    if window is None:
+        for record in records:
+            sim.schedule_at_front(
+                start + record.time_us * time_scale, submit, record
+            )
+    else:
+        if window <= 0:
+            raise ValueError(f"window must be positive or None, got {window}")
+        iterator = iter(records)
+
+        def feed_one() -> None:
+            record = next(iterator, None)
+            if record is None:
+                return
+            at = start + record.time_us * time_scale
+            if at < sim.now:
+                raise ValueError(
+                    f"trace timestamps unsorted beyond the replay window "
+                    f"({window}): record time {at} is before the clock "
+                    f"{sim.now}; sort the trace or pass window=None"
+                )
+            sim.schedule_at_front(at, submit_and_feed, record)
+
+        def submit_and_feed(record: TraceRecord) -> None:
+            submit(record)
+            feed_one()
+
+        for _ in range(window):
+            feed_one()
     sim.run_until_idle()
     result.elapsed_us = sim.now - start
     return result

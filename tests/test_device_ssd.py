@@ -185,8 +185,14 @@ class TestQueueMerging:
 
 
 class TestSchedulers:
+    @staticmethod
+    def _enqueue(ssd, *requests):
+        """Place requests in the host queue without pumping dispatch."""
+        for request in requests:
+            ssd.queue.append(request)
+            ssd.scheduler.on_submit(request, ssd)
+
     def test_swtf_selects_request_with_idle_target(self, sim):
-        from repro.device.scheduler import SWTFScheduler
         from repro.flash.ops import FlashOp, OpKind
 
         ssd = SSD(sim, SSDConfig(n_elements=2, geometry=small_geometry(),
@@ -195,23 +201,24 @@ class TestSchedulers:
         run_io(sim, ssd, OpType.WRITE, 0, 32 * KIB)
         # element 0 has a long op pending; element 1 is idle
         ssd.ftl.elements[0].enqueue(FlashOp(OpKind.ERASE))
-        queue = [
-            IORequest(OpType.READ, 0, 4 * KIB),       # element 0 (lpn 0)
-            IORequest(OpType.READ, 4 * KIB, 4 * KIB),  # element 1 (lpn 1)
-        ]
-        chosen = SWTFScheduler().select(queue, ssd)
-        assert chosen == 1  # the idle element's request wins
+        busy = IORequest(OpType.READ, 0, 4 * KIB)        # element 0 (lpn 0)
+        idle = IORequest(OpType.READ, 4 * KIB, 4 * KIB)  # element 1 (lpn 1)
+        self._enqueue(ssd, busy, idle)
+        chosen = ssd.scheduler.select(ssd)
+        assert chosen is idle  # the idle element's request wins
+        assert ssd.scheduler.reference_select(ssd) is idle
+        ssd.queue.remove(busy)
+        ssd.queue.remove(idle)
         sim.run_until_idle()
 
     def test_fcfs_selects_head(self, sim, small_ssd):
-        from repro.device.scheduler import FCFSScheduler
-
-        queue = [
-            IORequest(OpType.READ, 4 * KIB, 4 * KIB),
-            IORequest(OpType.READ, 0, 4 * KIB),
-        ]
-        assert FCFSScheduler().select(queue, small_ssd) == 0
-        assert FCFSScheduler().select([], small_ssd) is None
+        first = IORequest(OpType.READ, 4 * KIB, 4 * KIB)
+        second = IORequest(OpType.READ, 0, 4 * KIB)
+        self._enqueue(small_ssd, first, second)
+        assert small_ssd.scheduler.select(small_ssd) is first
+        small_ssd.queue.remove(first)
+        small_ssd.queue.remove(second)
+        assert small_ssd.scheduler.select(small_ssd) is None
 
     def test_unknown_scheduler_rejected(self):
         from repro.device.scheduler import make_scheduler

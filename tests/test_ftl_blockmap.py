@@ -167,7 +167,8 @@ class TestBackpressure:
     def test_can_accept_reflects_pool(self):
         _sim, ftl = make_ftl()
         assert ftl.can_accept_write(0, KB4)
-        ftl._pool[0] = ftl._pool[0][: ftl.reserve_rows]
+        while len(ftl._pool[0]) > ftl.reserve_rows:
+            ftl._pool[0].pop_lifo()
         assert not ftl.can_accept_write(0, KB4)
 
     def test_elements_for_range_covers_gang(self):
@@ -198,4 +199,6 @@ class TestChurnConsistency:
             else:
                 ftl.trim(offset, size)
             sim.run_until_idle()
+            # cheap rotating spot-check per iteration; full sweep at the end
+            ftl.check_consistency(full=False)
         ftl.check_consistency()

@@ -156,4 +156,6 @@ class TestChurn:
             else:
                 ftl.read(offset, size)
             sim.run_until_idle()
+            # cheap rotating spot-check per iteration; full sweep at the end
+            ftl.check_consistency(full=False)
         ftl.check_consistency()

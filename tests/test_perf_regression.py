@@ -15,6 +15,10 @@ optimizes: striped logical pages (shards=2) with read-modify-writes, SWTF
 scheduling (queue_wait_us), priority-aware cleaning, TRIM, and dynamic
 wear-leveling.  The second workload hammers a tiny device with static
 wear-leveling so block migration (pull_worn_free_block) is exercised.
+The blockmap/hybrid workloads (goldens recorded pre-PR 2, before those
+FTLs moved onto FreeBlockPool row pools, slab joins, and the incremental
+SWTF dispatch) pin stripe RMW cycles, log merges, background retirement,
+and gang-wide SWTF dispatch decisions.
 """
 
 from __future__ import annotations
@@ -54,6 +58,52 @@ GOLDEN_MAIN: dict = {
     "busy_us": {"host": 3016514.6875, "clean": 965341.0, "wear": 0.0},
     "erases": 398,
 }
+# Recorded from the pre-PR 2 tree (commit cdd2aed) by running the stripe
+# workloads below before the dispatch/freepool refactor; see test docstring.
+GOLDEN_BLOCKMAP: dict = {
+    "final_clock_us": 1698376.875,
+    "stats": {
+        "host_reads": 423,
+        "host_writes": 1011,
+        "host_pages_read": 643,
+        "host_pages_written": 1544,
+        "flash_pages_programmed": 9045,
+        "rmw_pages_read": 7501,
+        "clean_pages_moved": 0,
+        "clean_time_us": 2180904.0,
+        "clean_erases": 1452,
+        "wear_migrations": 0,
+        "wear_pages_moved": 0,
+        "trims": 66,
+        "trimmed_pages": 57,
+        "write_stalls": 0,
+    },
+    "busy_us": {"host": 3695549.125, "clean": 2180904.0, "wear": 0.0},
+    "erases": 1452,
+    "media_bytes_written": 37048320,
+}
+GOLDEN_HYBRID: dict = {
+    "final_clock_us": 1027753.6562,
+    "stats": {
+        "host_reads": 448,
+        "host_writes": 993,
+        "host_pages_read": 674,
+        "host_pages_written": 1465,
+        "flash_pages_programmed": 5545,
+        "rmw_pages_read": 0,
+        "clean_pages_moved": 4080,
+        "clean_time_us": 2421108.5625,
+        "clean_erases": 906,
+        "wear_migrations": 0,
+        "wear_pages_moved": 0,
+        "trims": 59,
+        "trimmed_pages": 51,
+        "write_stalls": 0,
+    },
+    "busy_us": {"host": 484620.5938, "clean": 2421108.5625, "wear": 0.0},
+    "erases": 906,
+    "media_bytes_written": 22712320,
+}
 GOLDEN_WEAR: dict = {
     "final_clock_us": 699290.4375,
     "events_run": 7833,
@@ -91,6 +141,7 @@ def _observables(sim: Simulator, ssd: SSD) -> dict:
         "stats": stats,
         "busy_us": busy,
         "erases": sum(el.erases_performed for el in ssd.ftl.elements),
+        "media_bytes_written": ssd.ftl.media_bytes_written,
     }
 
 
@@ -157,6 +208,77 @@ def _run_wear():
     return sim, ssd
 
 
+def _stripe_request_factory(ssd: SSD, rng: random.Random, region_frac: float):
+    region = int(ssd.capacity_bytes * region_frac) // 4096
+
+    def next_request(i: int):
+        offset = rng.randrange(region) * 4096
+        size = min(rng.choice((4096, 8192)), ssd.capacity_bytes - offset)
+        roll = rng.random()
+        if roll < 0.30:
+            op = OpType.READ
+        elif roll < 0.34:
+            op = OpType.FREE
+        else:
+            op = OpType.WRITE
+        return op, offset, size
+
+    return next_request
+
+
+def _run_blockmap():
+    sim = Simulator()
+    config = SSDConfig(
+        name="determinism-blockmap",
+        n_elements=4,
+        geometry=FlashGeometry(page_bytes=4096, pages_per_block=8,
+                               blocks_per_element=48),
+        ftl_type="blockmap",
+        gang_size=2,
+        spare_fraction=0.25,
+        scheduler="swtf",
+        max_inflight=8,
+        controller_overhead_us=5.0,
+        trim_enabled=True,
+    )
+    ssd = SSD(sim, config)
+    driver = ClosedLoopDriver(
+        sim, ssd, _stripe_request_factory(ssd, random.Random(1212), 0.5),
+        count=1500, depth=6,
+    )
+    result = driver.run()
+    assert result.count >= 1400, result.count
+    ssd.ftl.check_consistency()
+    return sim, ssd
+
+
+def _run_hybrid():
+    sim = Simulator()
+    config = SSDConfig(
+        name="determinism-hybrid",
+        n_elements=4,
+        geometry=FlashGeometry(page_bytes=4096, pages_per_block=8,
+                               blocks_per_element=48),
+        ftl_type="hybrid",
+        gang_size=2,
+        max_log_rows=3,
+        spare_fraction=0.25,
+        scheduler="swtf",
+        max_inflight=8,
+        controller_overhead_us=5.0,
+        trim_enabled=True,
+    )
+    ssd = SSD(sim, config)
+    driver = ClosedLoopDriver(
+        sim, ssd, _stripe_request_factory(ssd, random.Random(3434), 0.6),
+        count=1500, depth=6,
+    )
+    result = driver.run()
+    assert result.count >= 1400, result.count
+    ssd.ftl.check_consistency()
+    return sim, ssd
+
+
 def test_same_seed_twice_is_identical():
     assert _observables(*_run_main()) == _observables(*_run_main())
 
@@ -168,8 +290,11 @@ def test_wear_workload_twice_is_identical():
 def _assert_matches(observed: dict, golden: dict) -> None:
     # events_run is implementation-defined (the event-free FIFO refactor is
     # allowed to change how many events realize the same schedule); the
-    # simulated *behaviour* — stats, clock, busy time, erases — is not.
-    for key in ("final_clock_us", "stats", "busy_us", "erases"):
+    # simulated *behaviour* — stats, clock, busy time, erases, media bytes
+    # — is not.
+    for key in golden:
+        if key == "events_run":
+            continue
         assert observed[key] == golden[key], (
             f"{key} diverged from the recorded seed behaviour: "
             f"{observed[key]!r} != {golden[key]!r}"
@@ -190,3 +315,20 @@ def test_wear_workload_matches_golden_snapshot():
     _assert_matches(observed, GOLDEN_WEAR)
     assert observed["stats"]["wear_migrations"] > 0
     assert observed["stats"]["clean_erases"] > 0
+
+
+def test_blockmap_workload_matches_golden_snapshot():
+    observed = _observables(*_run_blockmap())
+    _assert_matches(observed, GOLDEN_BLOCKMAP)
+    # the refactor-sensitive paths must actually have run
+    assert observed["stats"]["rmw_pages_read"] > 0     # stripe RMW cycles
+    assert observed["stats"]["clean_erases"] > 0       # background retirement
+    assert observed["stats"]["trims"] > 0
+
+
+def test_hybrid_workload_matches_golden_snapshot():
+    observed = _observables(*_run_hybrid())
+    _assert_matches(observed, GOLDEN_HYBRID)
+    assert observed["stats"]["clean_pages_moved"] > 0  # log merges ran
+    assert observed["stats"]["clean_erases"] > 0
+    assert observed["stats"]["trims"] > 0

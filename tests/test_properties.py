@@ -76,6 +76,8 @@ class TestPagemapProperties:
             else:
                 ftl.read(offset, size)
             sim.run_until_idle()
+            # rotating sampled invariant check per op; full sweep below
+            ftl.check_consistency(full=False)
         ftl.check_consistency()
         for lpn in range(cap_pages):
             mapped = ftl.mapped_ppn(lpn) >= 0
@@ -94,6 +96,7 @@ class TestPagemapProperties:
             if ftl.can_accept_write(lpn * KB4, KB4):
                 ftl.write(lpn * KB4, KB4)
             sim.run_until_idle()
+            ftl.check_consistency(full=False)
         ftl.check_consistency()
         assert ftl.stats.clean_erases > 0
 
