@@ -9,7 +9,7 @@ completion joining, allocation, and cleaning:
 * ``mixed_rw``        — 50/50 random 4 KB reads and writes
 * ``cleaning_heavy``  — aged, nearly-full device where cleaning dominates
 
-plus one full-device scenario through the host-queue dispatch path:
+plus two full-device scenarios through the host-queue dispatch path:
 
 * ``swtf_saturated``  — open-loop replay far past saturation against a
   deep-NCQ SWTF SSD, so the host queue grows to thousands of requests and
@@ -17,6 +17,13 @@ plus one full-device scenario through the host-queue dispatch path:
   ``select()`` took ~34 s wall on this scenario (recorded in
   ``BENCH_CORE.json`` meta); the PR 2 incremental bucket scheduler runs it
   in well under a second with a bit-identical fingerprint.
+* ``replay_10m``      — the bounded-memory replay-at-scale pipeline
+  (PR 3): a generator-fed open-loop trace streamed through a busy (but not
+  overloaded) SWTF SSD into a :class:`StreamingResult` sink, so trace,
+  heap, host queue, and result are all O(1) in trace length.  The gate
+  runs it at 100k records; ``--replay-count 10000000`` runs the headline
+  10M-record replay (its one-off measurement lives in ``BENCH_CORE.json``
+  meta, like the pre-refactor SWTF wall time).
 
 Each scenario reports host ops/sec and simulator events/sec (wall time),
 plus a behaviour *fingerprint* (final simulated clock, op counts, FTL
@@ -26,7 +33,9 @@ Run standalone to (re)record ``BENCH_CORE.json``::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py --record current
 
-or under pytest (wall-time measured via the ``benchmark`` fixture, real or
+(``--record fast`` with ``--scale 0.1`` maintains the CI-sized entry that
+``REPRO_BENCH_FAST=1 python -m benchmarks.perf_report`` gates against) or
+under pytest (wall-time measured via the ``benchmark`` fixture, real or
 the fallback in ``benchmarks/conftest.py``).  ``REPRO_BENCH_FAST=1``
 shrinks geometry and IO counts to CI size.
 """
@@ -52,8 +61,9 @@ from repro.flash.timing import FlashTiming
 from repro.ftl.pagemap import PageMappedFTL
 from repro.ftl.prefill import prefill_pagemap
 from repro.sim.engine import Simulator
-from repro.traces.synthetic import SyntheticConfig, generate_synthetic
-from repro.workloads.driver import replay_trace
+from repro.traces.synthetic import (SyntheticConfig, generate_synthetic,
+                                    iter_synthetic)
+from repro.workloads.driver import StreamingResult, replay_trace
 
 BENCH_CORE = _ROOT / "BENCH_CORE.json"
 
@@ -63,7 +73,13 @@ _BASE_OPS = {
     "mixed_rw": 30_000,
     "cleaning_heavy": 12_000,
     "swtf_saturated": 8_000,
+    "replay_10m": 100_000,
 }
+
+#: ``--replay-count``: absolute record-count override for ``replay_10m``
+#: (the headline 10M-record run; fingerprints are only comparable at the
+#: recorded count, so the gate never sets this)
+_REPLAY_COUNT_OVERRIDE: Optional[int] = None
 
 
 def _make_ftl(blocks: int, sim: Optional[Simulator] = None):
@@ -217,11 +233,56 @@ def _scenario_swtf_saturated(scale: float):
     return sim, device.ftl, _OpenLoopReplay(sim, device, trace)
 
 
+class _SinkReplay:
+    """``replay_trace``-into-a-sink adapter with the runner interface;
+    takes a trace *factory* so generator traces rebuild per repeat."""
+
+    def __init__(self, sim, device, make_records, count) -> None:
+        self.sim = sim
+        self.device = device
+        self.make_records = make_records
+        self.count = count
+        self.sink = StreamingResult()
+
+    def run(self) -> None:
+        replay_trace(self.sim, self.device, self.make_records(),
+                     sink=self.sink)
+
+
+def _scenario_replay_10m(scale: float):
+    """Bounded-memory replay at scale (see module docstring): generator
+    trace -> streaming window -> SWTF dispatch (memoized admission) ->
+    batched host link -> StreamingResult sink.  Arrivals sit just below
+    service rate, so the host queue stays bounded and a 10M-record run
+    holds O(1) state end to end."""
+    if _REPLAY_COUNT_OVERRIDE is not None:
+        count = _REPLAY_COUNT_OVERRIDE
+    else:
+        count = max(10_000, int(_BASE_OPS["replay_10m"] * scale))
+    sim = Simulator()
+    device = s4slc_sim(sim, element_mb=32, scheduler="swtf", max_inflight=32,
+                       controller_overhead_us=5.0, streaming_stats=True)
+    prefill_pagemap(device.ftl, 0.60, overwrite_fraction=0.15)
+    config = SyntheticConfig(
+        count=count,
+        region_bytes=int(device.capacity_bytes * 0.6),
+        request_bytes=4096,
+        read_fraction=0.5,
+        seq_probability=0.3,
+        interarrival_max_us=80.0,
+        priority_fraction=0.1,
+        seed=77,
+    )
+    runner = _SinkReplay(sim, device, lambda: iter_synthetic(config), count)
+    return sim, device.ftl, runner
+
+
 SCENARIOS: Dict[str, Callable[[float], tuple]] = {
     "pure_write": _scenario_pure_write,
     "mixed_rw": _scenario_mixed_rw,
     "cleaning_heavy": _scenario_cleaning_heavy,
     "swtf_saturated": _scenario_swtf_saturated,
+    "replay_10m": _scenario_replay_10m,
 }
 
 
@@ -277,22 +338,48 @@ def test_hotpath_swtf_saturated(benchmark):
     assert result["host_reads"] > 0 and result["host_writes"] > 0
 
 
+def test_hotpath_replay_10m(benchmark):
+    result = _bench(benchmark, "replay_10m")
+    # both op classes stream through the sink pipeline
+    assert result["host_reads"] > 0 and result["host_writes"] > 0
+
+
 # ---------------------------------------------------------------------------
 # standalone recording
 # ---------------------------------------------------------------------------
 
 def main(argv=None) -> int:
+    global _REPLAY_COUNT_OVERRIDE
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--record", choices=("baseline", "current"),
-                        help="write results into BENCH_CORE.json under this key")
+    parser.add_argument("--record", choices=("baseline", "current", "fast"),
+                        help="write results into BENCH_CORE.json under this "
+                             "key ('fast' is the CI-sized entry; record it "
+                             "with --scale 0.1)")
     parser.add_argument("--label", default="",
                         help="free-form label stored with the recorded run")
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--repeat", type=int, default=1,
                         help="repetitions per scenario; fastest wall kept")
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS), default=None,
+                        help="run a single scenario instead of all")
+    parser.add_argument("--replay-count", type=int, default=None,
+                        help="absolute record count for replay_10m (e.g. "
+                             "10000000 for the headline run); incompatible "
+                             "with --record, whose fingerprints assume the "
+                             "default count")
     args = parser.parse_args(argv)
+    if args.replay_count is not None:
+        if args.record:
+            parser.error("--replay-count cannot be combined with --record")
+        _REPLAY_COUNT_OVERRIDE = args.replay_count
+    if args.record and args.scenario:
+        parser.error("--record needs the full scenario set, not --scenario")
 
-    results = run_all(args.scale, args.repeat)
+    if args.scenario:
+        results = {args.scenario: run_scenario(args.scenario, args.scale,
+                                               args.repeat)}
+    else:
+        results = run_all(args.scale, args.repeat)
     for name, row in results.items():
         print(f"{name:16s} {row['ops_per_s']:>10.0f} ops/s "
               f"{row['events_per_s']:>12.0f} events/s  "
@@ -302,9 +389,11 @@ def main(argv=None) -> int:
         doc = {}
         if BENCH_CORE.exists():
             doc = json.loads(BENCH_CORE.read_text())
-        doc.setdefault("meta", {})["scale"] = args.scale
+        doc.setdefault("meta", {})
+        if args.record != "fast":  # meta.scale tracks the full-size entries
+            doc["meta"]["scale"] = args.scale
         doc["meta"]["scenarios"] = list(SCENARIOS)
-        entry = {"label": args.label, "results": results}
+        entry = {"label": args.label, "scale": args.scale, "results": results}
         doc[args.record] = entry
         BENCH_CORE.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         print(f"recorded '{args.record}' in {BENCH_CORE}")

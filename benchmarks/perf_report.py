@@ -1,27 +1,39 @@
 """Perf trajectory gate: compare a fresh hotpath run to BENCH_CORE.json.
 
-Re-runs the deterministic hotpath scenarios and prints a table against the
-committed ``current`` entry of ``BENCH_CORE.json`` (the numbers the last
-perf PR achieved).  Exits nonzero when:
+Re-runs the deterministic hotpath scenarios and prints a table against a
+committed entry of ``BENCH_CORE.json`` (the numbers the last perf PR
+achieved).  Exits nonzero when:
 
 * throughput regressed more than ``--threshold`` (default 20%) on any
   scenario, or
 * the behaviour fingerprint (final simulated clock, op counts, FTL stats)
   diverged — a "fast but wrong" change is a regression too.
 
+Two committed entries exist:
+
+* ``current`` — full-size scenarios (scale 1.0); the numbers perf PRs
+  quote in CHANGES.md.
+* ``fast`` — the same scenarios at scale 0.1, sized for CI.  Selected
+  automatically when ``REPRO_BENCH_FAST=1`` is set (the CI workflow does),
+  or explicitly with ``--entry fast``.  Fingerprints are compared whenever
+  the run scale matches the entry's recorded scale, so the CI gate checks
+  behaviour, not just speed.
+
 Usage::
 
     PYTHONPATH=src python -m benchmarks.perf_report [--repeat 3]
+    REPRO_BENCH_FAST=1 PYTHONPATH=src python -m benchmarks.perf_report
     PYTHONPATH=src python benchmarks/perf_report.py --threshold 0.1
 
-Intended as an optional CI step and as the measurement tool future perf
-PRs quote in CHANGES.md.
+Intended as the CI perf step and as the measurement tool future perf PRs
+quote in CHANGES.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -45,27 +57,43 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed fractional throughput drop (default 0.20)")
     parser.add_argument("--scale", type=float, default=None,
-                        help="override the recorded scenario scale")
+                        help="override the entry's recorded scenario scale")
     parser.add_argument("--repeat", type=int, default=3,
                         help="repetitions per scenario; fastest wall kept "
                              "(default 3 — de-noises shared machines)")
+    parser.add_argument("--entry", choices=("current", "fast"), default=None,
+                        help="BENCH_CORE.json entry to compare against "
+                             "(default: 'fast' when REPRO_BENCH_FAST=1, "
+                             "else 'current')")
     args = parser.parse_args(argv)
+
+    entry_name = args.entry
+    if entry_name is None:
+        entry_name = ("fast" if os.environ.get("REPRO_BENCH_FAST") == "1"
+                      else "current")
 
     if not BENCH_CORE.exists():
         print(f"error: {BENCH_CORE} not found — record it first with "
               "`python benchmarks/bench_hotpath.py --record current`")
         return 2
     doc = json.loads(BENCH_CORE.read_text())
-    committed = doc.get("current", {}).get("results")
+    entry = doc.get(entry_name, {})
+    committed = entry.get("results")
     if not committed:
-        print("error: BENCH_CORE.json has no 'current' entry to compare against")
+        flag = " --scale 0.1" if entry_name == "fast" else ""
+        print(f"error: BENCH_CORE.json has no '{entry_name}' entry to compare "
+              f"against — record it with `python benchmarks/bench_hotpath.py "
+              f"--record {entry_name}{flag} --repeat 3`")
         return 2
-    scale = args.scale if args.scale is not None else doc.get("meta", {}).get("scale", 1.0)
+    entry_scale = entry.get("scale", doc.get("meta", {}).get("scale", 1.0))
+    scale = args.scale if args.scale is not None else entry_scale
 
     fresh = run_all(scale, args.repeat)
 
     failures = []
-    header = f"{'scenario':16s} {'metric':12s} {'committed':>12s} {'now':>12s} {'delta':>8s}"
+    header = (f"{'scenario':16s} {'metric':12s} {'committed':>12s} "
+              f"{'now':>12s} {'delta':>8s}")
+    print(f"comparing against entry '{entry_name}' (scale {scale})")
     print(header)
     print("-" * len(header))
     for name, now in fresh.items():
@@ -83,7 +111,7 @@ def main(argv=None) -> int:
                                 f"({before:.0f} -> {after:.0f})")
             print(f"{name:16s} {metric:12s} {before:12.0f} {after:12.0f} "
                   f"{delta:+7.1%}{flag}")
-        if abs(scale - doc.get("meta", {}).get("scale", 1.0)) < 1e-12:
+        if abs(scale - entry_scale) < 1e-12:
             for field in _FINGERPRINT:
                 if now.get(field) != ref.get(field):
                     failures.append(

@@ -4,7 +4,7 @@
 Probes every contract term against the disk, RAID, MEMS, and SSD models
 and prints measured vs paper verdicts with the measurement evidence.
 
-Run:  python examples/contract_report.py      (takes ~10 s)
+Run:  PYTHONPATH=src python examples/contract_report.py      (takes a few seconds)
 """
 
 from repro.bench.experiments.table1_contract import run

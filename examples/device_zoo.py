@@ -5,7 +5,7 @@ Probes sequential/random read/write bandwidth on each preset device —
 the HDD, the high-end page-mapped SSD, the low-end block-mapped SSD with
 its 1 MB stripe, and friends — and prints a Table 2-style comparison.
 
-Run:  python examples/device_zoo.py      (takes ~10 s)
+Run:  PYTHONPATH=src python examples/device_zoo.py      (takes a few seconds)
 """
 
 from repro.bench.experiments.table2_bandwidth import PAPER_TABLE2, run

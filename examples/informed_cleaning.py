@@ -6,7 +6,7 @@ ignores FREE notifications (the default block device) and one that
 processes them — and compares the cleaning work.  The uninformed device
 keeps copying dead file data from block to block forever.
 
-Run:  python examples/informed_cleaning.py
+Run:  PYTHONPATH=src python examples/informed_cleaning.py
 """
 
 from repro import SSD, SSDConfig, Simulator

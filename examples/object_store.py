@@ -8,7 +8,7 @@ Demonstrates the paper's proposed interface end to end:
 * REMOVE turning directly into free-page knowledge (informed cleaning),
 * tier co-location of hot objects on a heterogeneous SLC+MLC device.
 
-Run:  python examples/object_store.py
+Run:  PYTHONPATH=src python examples/object_store.py
 """
 
 from repro import Simulator

@@ -8,7 +8,7 @@ cleaner, foreground requests queue behind cleaning bursts; the
 priority-aware cleaner postpones cleaning (down to the critical watermark)
 while foreground requests are outstanding.
 
-Run:  python examples/priority_qos.py
+Run:  PYTHONPATH=src python examples/priority_qos.py
 """
 
 from repro import SSD, SSDConfig, Simulator

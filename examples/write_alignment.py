@@ -9,7 +9,7 @@ Part 2 shows the Table 3 cure: on a 32 KB-logical-page SSD near
 saturation, merging co-queued writes onto stripe boundaries leaves
 random streams untouched but halves response times for sequential ones.
 
-Run:  python examples/write_alignment.py      (takes ~15 s)
+Run:  PYTHONPATH=src python examples/write_alignment.py      (takes a few seconds)
 """
 
 from repro.bench.experiments.figure2_sawtooth import _bandwidth_for_size

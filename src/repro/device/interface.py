@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol, runtime_checkable
 
-from repro.sim.stats import LatencyRecorder
+from repro.sim.stats import LatencyRecorder, StreamingLatencyRecorder
 from repro.units import SECTOR
 
 __all__ = [
@@ -81,6 +81,13 @@ class IORequest:
     #: table, it cannot be corrupted by CPython reusing the id of a
     #: garbage-collected request.
     early_release: bool = field(default=False, compare=False, repr=False)
+    #: admission memo (stamped by ``SSD.admissible``): the FTL allocation
+    #: epoch the cached answer was computed under, and the answer.  Epoch
+    #: values are globally unique (see ``repro.ftl.base._ALLOC_EPOCH``), so
+    #: a memo stamped against one device can never be read as fresh by
+    #: another even if the request object is resubmitted elsewhere.
+    admit_epoch: int = field(default=0, compare=False, repr=False)
+    admit_ok: bool = field(default=False, compare=False, repr=False)
 
     @property
     def response_us(self) -> float:
@@ -146,13 +153,24 @@ class DeviceStats:
     * bytes moved at the host interface,
     * ``media_bytes_written`` — bytes physically written to the medium, the
       numerator of the write-amplification factor (contract term 4).
+
+    ``streaming=True`` swaps the exact recorders for
+    :class:`repro.sim.stats.StreamingLatencyRecorder` (same
+    ``record``/``count``/``summary`` API; ``samples`` becomes a uniform
+    reservoir sample), so the device itself holds O(1) state over
+    arbitrarily long replays — the last per-record accumulator after the
+    driver's result moves to a streaming sink.
     """
 
-    def __init__(self) -> None:
-        self.reads = LatencyRecorder()
-        self.writes = LatencyRecorder()
-        self.priority_reads = LatencyRecorder()
-        self.priority_writes = LatencyRecorder()
+    def __init__(self, streaming: bool = False) -> None:
+        if streaming:
+            # distinct seeds: each recorder's reservoir samples its own
+            # stream deterministically
+            make = [StreamingLatencyRecorder(seed=0x5EED + i)
+                    for i in range(4)]
+        else:
+            make = [LatencyRecorder() for _ in range(4)]
+        self.reads, self.writes, self.priority_reads, self.priority_writes = make
         self.bytes_read = 0
         self.bytes_written = 0
         self.media_bytes_written = 0

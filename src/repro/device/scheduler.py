@@ -52,7 +52,11 @@ Admission mirrors the seed's skip-don't-block rule: candidates are probed
 in ``(wait, arrival)`` order and an inadmissible candidate is passed over
 in favour of the next arrival in its bucket (same wait, later seq).
 Removals (dispatch, queue-merge steals) are lazy flag flips; buckets skim
-dead entries when they surface.
+dead entries when they surface.  The probe itself (``SSD.admissible``) is
+memoized per request against the FTL's allocation epoch (see
+``repro.ftl.base.BaseFTL.alloc_epoch``), so repeated probes of a stalled
+write during an allocation stall cost O(1) instead of re-walking its
+stripe/element ranges.
 
 Dispatch decisions are bit-identical to the brute-force scan (kept as
 :meth:`SWTFScheduler.reference_select` and pinned by the equivalence test

@@ -107,7 +107,7 @@ class SSD:
 
         self.scheduler = make_scheduler(cfg.scheduler)
         self.link = SerialResource(sim, cfg.host_interface_mb_s)
-        self._stats = DeviceStats()
+        self._stats = DeviceStats(streaming=cfg.streaming_stats)
         self.queue = HostQueue()
         self._inflight = 0
         self._pending_priority = 0
@@ -131,6 +131,10 @@ class SSD:
     def submit(self, request: IORequest) -> None:
         request.validate(self.capacity_bytes)
         request.submit_us = self.sim.now
+        # a reused request object may have been mutated since its last
+        # residency; its admission memo keys only the allocation state, so
+        # it must restart fresh here (like the seq restamp below)
+        request.admit_epoch = 0
         if request.priority > 0:
             self._pending_priority += 1
         self.queue.append(request)
@@ -142,10 +146,25 @@ class SSD:
     # ------------------------------------------------------------------
 
     def admissible(self, request: IORequest) -> bool:
-        """Can this request start service now (flash allocation headroom)?"""
-        if request.op is OpType.WRITE:
-            return self.write_buffer.admits(request.offset, request.size)
-        return True
+        """Can this request start service now (flash allocation headroom)?
+
+        Memoized per request against the FTL's allocation epoch: the answer
+        is a pure function of (offset, size, allocation state), and the
+        epoch takes a fresh globally-unique value whenever that state
+        changes, so a hit is exact — not heuristic.  This is what keeps the
+        SWTF probe loop cheap under backpressure: a stalled write is probed
+        on every dispatch attempt, but its stripe/element ranges are only
+        re-walked when an allocate or clean actually moved the headroom.
+        """
+        if request.op is not OpType.WRITE:
+            return True
+        epoch = self.ftl.alloc_epoch
+        if request.admit_epoch == epoch:
+            return request.admit_ok
+        ok = self.write_buffer.admits(request.offset, request.size)
+        request.admit_epoch = epoch
+        request.admit_ok = ok
+        return ok
 
     def _pump(self) -> None:
         while self._inflight < self.config.max_inflight and self.queue:

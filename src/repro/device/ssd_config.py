@@ -62,6 +62,11 @@ class SSDConfig:
     buffer_capacity_bytes: int = 1 << 20
     buffer_ack: str = "flush"
 
+    #: keep device-level latency recorders in constant memory (quantile
+    #: sketch + reservoir instead of every sample) — pair with a streaming
+    #: result sink for O(1)-memory replay of arbitrarily long traces
+    streaming_stats: bool = False
+
     def __post_init__(self) -> None:
         if self.n_elements <= 0:
             raise ValueError("n_elements must be positive")

@@ -16,6 +16,7 @@ SSD layer above:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import count
 from typing import Callable, Dict, List, Optional, Set
 
 import numpy as np
@@ -43,6 +44,14 @@ def complete_async(sim: Simulator, done: Optional[Callable[[float], None]]) -> N
     """
     if done is not None:
         sim.schedule(0.0, done, sim.now)
+
+
+#: allocation-epoch values are *globally* unique (one process-wide counter)
+#: rather than per-FTL: admission answers are memoized per-request against
+#: the epoch value (see ``SSD.admissible``), and a globally-unique epoch
+#: makes a memo stamped against one device's FTL unambiguously stale on any
+#: other — the same trick the scheduler plays with submission seqs.
+_ALLOC_EPOCH = count(1).__next__
 
 
 class DeviceFullError(RuntimeError):
@@ -172,6 +181,15 @@ class BaseFTL:
         self.geometry = geom
         self.logical_capacity_bytes = logical_capacity_bytes
         self.stats = FTLStats()
+        #: allocation epoch: takes a fresh globally-unique value whenever
+        #: the inputs of ``can_accept_write`` change (a page/row allocated,
+        #: a block/row returned by cleaning or retirement).  While the
+        #: epoch stands still, every admission answer stands still too, so
+        #: callers may memoize ``can_accept_write`` keyed on this value —
+        #: the SSD dispatcher does, per request, which turns the SWTF probe
+        #: loop's repeated stripe-range walks during an allocation stall
+        #: into O(1) lookups.
+        self.alloc_epoch = _ALLOC_EPOCH()
         #: recycled CompletionJoin instances (see CompletionJoin docstring)
         self._join_slab: list = []
         #: rotation cursor for sampled consistency checks
@@ -367,6 +385,7 @@ class StripeFTLBase(BaseFTL):
             raise DeviceFullError(
                 f"gang {gang}: no erased stripes left{self._full_hint}"
             )
+        self.alloc_epoch = _ALLOC_EPOCH()
         return pool.pop_lifo()
 
     def _retire_row(self, gang: int, row: int) -> None:
@@ -380,6 +399,7 @@ class StripeFTLBase(BaseFTL):
             if remaining[0] == 0:
                 self._retiring[gang].discard(row)
                 self._pool[gang].push(row)
+                self.alloc_epoch = _ALLOC_EPOCH()
                 self._space_freed()
 
         timing = self.elements[gang * self.shards].timing
@@ -393,9 +413,16 @@ class StripeFTLBase(BaseFTL):
 
     def can_accept_write(self, offset: int, size: int) -> bool:
         sb = self.stripe_bytes
-        end = offset + size
+        lbn0 = offset // sb
+        lbn1 = (offset + size - 1) // sb
+        if lbn0 == lbn1:
+            # fast path: the write lands in one stripe — the common 4 KB
+            # probe shape, answered off one gang's pool length with no
+            # range walk or dict build
+            gang = lbn0 % self.n_gangs
+            return len(self._pool[gang]) - 1 >= self.reserve_rows
         needed: Dict[int, int] = {}
-        for lbn in range(offset // sb, (end - 1) // sb + 1):
+        for lbn in range(lbn0, lbn1 + 1):
             gang = lbn % self.n_gangs
             needed[gang] = needed.get(gang, 0) + 1
         return all(

@@ -38,6 +38,7 @@ from repro.flash.ops import TAG_HOST
 from repro.ftl.base import (
     BaseFTL,
     DeviceFullError,
+    _ALLOC_EPOCH,
     complete_async,
 )
 from repro.ftl.cleaning import Cleaner, CleaningConfig
@@ -170,12 +171,14 @@ class PageMappedFTL(BaseFTL):
             frontier = self._pull_block(e_idx, temp)
             frontiers[temp] = frontier
         self._free[e_idx] -= 1
+        self.alloc_epoch = _ALLOC_EPOCH()
         return frontier, wp[frontier]
 
     def release_block(self, e_idx: int, block: int) -> None:
         """Return an erased block to the pool (erase already completed)."""
         self._pool[e_idx].push(block)
         self._free[e_idx] += self.geometry.pages_per_block
+        self.alloc_epoch = _ALLOC_EPOCH()
 
     def note_wear_changed(self, e_idx: Optional[int] = None) -> None:
         """Re-key the free-block wear ordering of one element (or all).
@@ -199,6 +202,7 @@ class PageMappedFTL(BaseFTL):
             return -1
         block = pool.pop_max_wear()
         self._free[e_idx] -= self.geometry.pages_per_block
+        self.alloc_epoch = _ALLOC_EPOCH()
         return block
 
     # ------------------------------------------------------------------

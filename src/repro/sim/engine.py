@@ -126,20 +126,41 @@ class Simulator:
         self._alive += 1
         return event
 
-    def reschedule(self, event: Event, time_us: float) -> None:
+    def reserve_seq(self) -> int:
+        """Claim the next normal-lane sequence number without scheduling.
+
+        For callers that decide *now* where an occurrence ranks among
+        same-timestamp events but arm the heap entry later through
+        :meth:`reschedule` (e.g. :class:`repro.sim.resource.SerialResource`
+        keeps one armed event over a FIFO of pending completions).  Using
+        the reserved seq at arm time reproduces exactly the ordering that
+        scheduling a fresh event at reservation time would have produced —
+        the heap does not require monotone seq insertion, only that every
+        ``(time, seq)`` pushed is still in the future, which holds because
+        a reserved occurrence's time can only be ahead of the clock.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def reschedule(self, event: Event, time_us: float, seq: Optional[int] = None) -> None:
         """Re-arm a previously fired (or never armed) event at *time_us*.
 
         Fast path for callers that reuse one Event object instead of
         allocating per occurrence.  The caller must guarantee the event is
         not currently in the heap (it already fired or was never scheduled);
         re-arming a still-queued event would corrupt completion order.
+
+        ``seq`` may be a value obtained earlier from :meth:`reserve_seq`;
+        by default a fresh sequence number is drawn at re-arm time.
         """
         if time_us < self.now:
             raise SimulationError(
                 f"cannot schedule at {time_us} before current time {self.now}"
             )
-        seq = self._seq
-        self._seq = seq + 1
+        if seq is None:
+            seq = self._seq
+            self._seq = seq + 1
         event.time = time_us
         event.seq = seq
         event.alive = True

@@ -3,19 +3,45 @@
 A :class:`SerialResource` models a link that transfers one payload at a
 time: a transfer requested while the link is busy starts when the link
 frees.  Used for the SSD's host interface and the shared gang bus.
+
+Batched completion delivery
+---------------------------
+The seed implementation scheduled one fresh heap event per transfer, so a
+busy link kept one queued event per outstanding completion and a long
+sequential stream allocated an :class:`~repro.sim.engine.Event` per
+request.  Completions are now *batched over the busy interval*: pending
+completions sit in a plain FIFO (finish times are monotone on a serial
+link) and the link keeps exactly **one** armed event — at the head
+completion's finish time — re-armed from entry to entry as the interval
+drains.  Per transfer the heap sees the same single push it always did,
+but the push reuses one Event object (no allocation) and the heap never
+holds more than one link entry regardless of backlog depth.
+
+Delivery order is bit-identical to the per-event scheme: each transfer
+reserves its sequence number at request time
+(:meth:`~repro.sim.engine.Simulator.reserve_seq`) and the re-arm replays
+that reserved ``(finish, seq)`` pair, so ties against unrelated
+same-timestamp events resolve exactly as if a fresh event had been
+scheduled when the transfer was requested.  Per-request completion times
+are untouched — batching changes *how* the callback is carried to its
+instant, never *when* the instant is.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from collections import deque
+from typing import Callable, Deque, Tuple
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 
 __all__ = ["SerialResource"]
 
 
 class SerialResource:
     """FIFO-ordered serial resource characterized by a bandwidth."""
+
+    __slots__ = ("sim", "_bytes_per_us", "busy_until", "bytes_transferred",
+                 "busy_us", "_pending", "_event", "_armed")
 
     def __init__(self, sim: Simulator, mb_per_s: float) -> None:
         if mb_per_s <= 0:
@@ -24,6 +50,18 @@ class SerialResource:
         self._bytes_per_us = mb_per_s * 1024 * 1024 / 1_000_000.0
         self.busy_until = 0.0
         self.bytes_transferred = 0
+        #: total simulated time the link has been (or is committed to be)
+        #: transferring; queue wait is excluded, so utilization over a run
+        #: is ``busy_us / elapsed``
+        self.busy_us = 0.0
+        #: completions awaiting delivery as (deliver_at, seq, then, finish),
+        #: finish-time order (monotone by construction: each transfer starts
+        #: no earlier than the last ends)
+        self._pending: Deque[Tuple[float, int, Callable[[float], None], float]] = deque()
+        #: the one reusable heap event carrying the head completion
+        self._event = Event(0.0, 0, self._deliver, ())
+        self._event.alive = False
+        self._armed = False
 
     def duration_us(self, nbytes: int) -> float:
         return nbytes / self._bytes_per_us
@@ -31,13 +69,52 @@ class SerialResource:
     def transfer(self, nbytes: int, then: Callable[[float], None]) -> float:
         """Queue a transfer; ``then(finish_time)`` fires when it completes.
         Returns the scheduled finish time."""
-        start = max(self.sim.now, self.busy_until)
-        finish = start + self.duration_us(nbytes)
+        sim = self.sim
+        now = sim.now
+        start = now if now > self.busy_until else self.busy_until
+        duration = nbytes / self._bytes_per_us
+        finish = start + duration
         self.busy_until = finish
         self.bytes_transferred += nbytes
-        self.sim.schedule(finish - self.sim.now, then, finish)
+        self.busy_us += duration
+        # reserve the completion's tie-break rank now; the armed event
+        # replays it later (see module docstring).  ``deliver_at`` is
+        # ``now + (finish - now)``, which the seed's delay-based schedule()
+        # produced and which can differ from ``finish`` by one ULP —
+        # preserved so clock stamps stay bit-identical to the seed.
+        deliver_at = now + (finish - now)
+        self._pending.append((deliver_at, sim.reserve_seq(), then, finish))
+        if not self._armed:
+            self._arm_head()
         return finish
+
+    def _arm_head(self) -> None:
+        deliver_at, seq, _then, _finish = self._pending[0]
+        now = self.sim.now
+        if deliver_at < now:
+            # sub-ULP corner: a zero-length transfer's rounded delivery time
+            # can land one ULP before the previous delivery's clock
+            deliver_at = now
+        self._armed = True
+        self.sim.reschedule(self._event, deliver_at, seq=seq)
+
+    def _deliver(self) -> None:
+        """Fire the head completion; keep the single event armed while the
+        busy interval still holds pending completions.  The callback may
+        re-enter :meth:`transfer` (request chains); ``_armed`` is dropped
+        first so a re-entrant transfer onto an emptied FIFO arms itself."""
+        _deliver_at, _seq, then, finish = self._pending.popleft()
+        self._armed = False
+        then(finish)
+        if self._pending and not self._armed:
+            self._arm_head()
 
     def wait_us(self) -> float:
         """How long a transfer queued now would wait before starting."""
-        return max(0.0, self.busy_until - self.sim.now)
+        wait = self.busy_until - self.sim.now
+        return wait if wait > 0.0 else 0.0
+
+    @property
+    def queued_transfers(self) -> int:
+        """Completions not yet delivered (includes the one in service)."""
+        return len(self._pending)

@@ -3,11 +3,25 @@
 These are deliberately simple containers.  Experiments create them, devices
 feed them, and the bench harness formats their summaries into the paper's
 tables.
+
+Two families of latency recorder coexist:
+
+* :class:`LatencyRecorder` keeps every sample and computes exact
+  percentiles — the right tool at experiment scale (≤ a few hundred
+  thousand samples), and what every paper table is built on.
+* :class:`StreamingLatencyRecorder` is the constant-memory stand-in for
+  replay-at-scale (10M+ records): a log-bucketed
+  :class:`QuantileSketch` with bounded *relative* quantile error, an
+  exact running mean/min/max, and a seeded :class:`ReservoirSampler`
+  holding a uniform sample of the stream for inspection.  It emits the
+  same :class:`LatencySummary` shape, so result objects built on either
+  are interchangeable to readers.
 """
 
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
@@ -15,6 +29,10 @@ __all__ = [
     "RunningStats",
     "LatencyRecorder",
     "LatencySummary",
+    "StreamingLatencyRecorder",
+    "QuantileSketch",
+    "ReservoirSampler",
+    "ClassAggregate",
     "Counter",
     "Histogram",
     "BandwidthMeter",
@@ -141,6 +159,219 @@ class LatencyRecorder:
             p99_us=percentile(ordered, 0.99),
             max_us=ordered[-1],
         )
+
+
+class QuantileSketch:
+    """Streaming quantiles with bounded relative error in O(1) memory.
+
+    DDSketch-style logarithmic buckets: a value *v* lands in bucket
+    ``ceil(log_gamma(v / floor))`` with ``gamma = (1 + α) / (1 - α)``, so
+    any quantile estimate is within relative error ``α`` of *some* sample
+    at that rank.  Bucket storage is a sparse dict whose size is bounded by
+    the dynamic range of the data (≈ 900 buckets for µs latencies spanning
+    1e-3..1e7 at the default α = 1%), independent of sample count.
+
+    Values below ``floor`` collapse into a zero bucket reported as 0.0 —
+    latencies that small are below the simulator's meaningful resolution.
+    Sketches with equal ``alpha`` merge exactly (bucket-wise addition).
+    """
+
+    __slots__ = ("alpha", "_gamma", "_log_gamma", "_floor", "_buckets",
+                 "count", "sum", "min", "max", "_zero_count")
+
+    def __init__(self, alpha: float = 0.01, floor: float = 1e-3) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if floor <= 0.0:
+            raise ValueError(f"floor must be positive, got {floor}")
+        self.alpha = alpha
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._floor = floor
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._zero_count = 0
+
+    def add(self, value: float) -> None:
+        if value < 0.0:
+            raise ValueError(f"negative sample {value}")
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value < self._floor:
+            self._zero_count += 1
+            return
+        index = math.ceil(math.log(value / self._floor) / self._log_gamma)
+        buckets = self._buckets
+        buckets[index] = buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Estimate the ``fraction`` quantile (same rank convention as
+        :func:`percentile`: rank ``fraction * (n - 1)``, no interpolation —
+        interpolating between adjacent order statistics moves the answer by
+        less than the sketch's own error)."""
+        if not self.count:
+            raise ValueError("quantile of empty sketch")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        rank = int(fraction * (self.count - 1))
+        if rank == 0:
+            return self.min  # tracked exactly, like the max
+        if rank == self.count - 1:
+            return self.max
+        if rank < self._zero_count:
+            return 0.0
+        cumulative = self._zero_count
+        gamma = self._gamma
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative > rank:
+                # midpoint of the bucket's value range, clamped to the
+                # exactly-tracked extremes
+                estimate = self._floor * gamma ** index * 2.0 / (1.0 + gamma)
+                return min(max(estimate, self.min), self.max)
+        return self.max  # pragma: no cover - counts always sum to count
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch in (exact: buckets align when alphas match)."""
+        if other.alpha != self.alpha or other._floor != self._floor:
+            raise ValueError("can only merge sketches with identical buckets")
+        buckets = self._buckets
+        for index, n in other._buckets.items():
+            buckets[index] = buckets.get(index, 0) + n
+        self.count += other.count
+        self.sum += other.sum
+        self._zero_count += other._zero_count
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    def summary(self) -> "LatencySummary":
+        """The sketch's :class:`LatencySummary`: exact count/mean/max,
+        sketched p50/p95/p99.  Shared by every streaming summary producer
+        so single-class and merged-class summaries cannot drift."""
+        if not self.count:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return LatencySummary(
+            count=self.count,
+            mean_us=self.mean,
+            p50_us=self.quantile(0.50),
+            p95_us=self.quantile(0.95),
+            p99_us=self.quantile(0.99),
+            max_us=self.max,
+        )
+
+    @property
+    def bucket_count(self) -> int:
+        """Occupied buckets (memory bound diagnostics)."""
+        return len(self._buckets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<QuantileSketch n={self.count} alpha={self.alpha} "
+                f"buckets={len(self._buckets)}>")
+
+
+class ReservoirSampler:
+    """Uniform fixed-size sample of a stream (Vitter's Algorithm R).
+
+    Deterministic per seed: replays of the same stream keep the same
+    sample.  Used by :class:`StreamingLatencyRecorder` so a bounded-memory
+    replay still leaves raw latencies to inspect or plot.
+    """
+
+    __slots__ = ("capacity", "seen", "_samples", "_rng")
+
+    def __init__(self, capacity: int = 1024, seed: int = 0x5EED) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.seen = 0
+        self._samples: List[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        self.seen += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self._samples[slot] = value
+
+    @property
+    def samples(self) -> List[float]:
+        """The current sample (not a copy; treat as read-only)."""
+        return self._samples
+
+
+class StreamingLatencyRecorder:
+    """Constant-memory counterpart of :class:`LatencyRecorder`.
+
+    ``record``/``count``/``summary`` match the exact recorder's API; the
+    summary's mean and max are exact, the percentiles come from the
+    quantile sketch (relative error ``alpha``), and a seeded reservoir
+    keeps a uniform raw sample.  See the module docstring for when to use
+    which.
+    """
+
+    __slots__ = ("sketch", "reservoir")
+
+    def __init__(self, alpha: float = 0.01, reservoir_k: int = 1024,
+                 seed: int = 0x5EED) -> None:
+        self.sketch = QuantileSketch(alpha)
+        self.reservoir = ReservoirSampler(reservoir_k, seed)
+
+    def record(self, latency_us: float) -> None:
+        self.sketch.add(latency_us)
+        self.reservoir.add(latency_us)
+
+    @property
+    def count(self) -> int:
+        return self.sketch.count
+
+    @property
+    def samples(self) -> List[float]:
+        """Reservoir sample (uniform, not exhaustive — unlike
+        :attr:`LatencyRecorder.samples`)."""
+        return self.reservoir.samples
+
+    def summary(self) -> LatencySummary:
+        return self.sketch.summary()
+
+
+class ClassAggregate:
+    """Per-(op, priority)-class roll-up a streaming result keeps: request
+    count, bytes moved, and a :class:`StreamingLatencyRecorder`.
+
+    The whole aggregate is O(1) memory; a result object holds one per
+    traffic class (≤ 8: four ops × two priority levels).
+    """
+
+    __slots__ = ("bytes", "latencies")
+
+    def __init__(self, alpha: float = 0.01, reservoir_k: int = 1024,
+                 seed: int = 0x5EED) -> None:
+        self.bytes = 0
+        self.latencies = StreamingLatencyRecorder(alpha, reservoir_k, seed)
+
+    def add(self, latency_us: float, nbytes: int) -> None:
+        self.bytes += nbytes
+        self.latencies.record(latency_us)
+
+    @property
+    def count(self) -> int:
+        return self.latencies.count
 
 
 class Counter:

@@ -14,13 +14,13 @@ Two experiments in the paper are driven by exactly this generator:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Iterator, List
 
 from repro.sim.rng import stream
 from repro.traces.record import TraceOp, TraceRecord
 from repro.units import align_down
 
-__all__ = ["SyntheticConfig", "generate_synthetic"]
+__all__ = ["SyntheticConfig", "generate_synthetic", "iter_synthetic"]
 
 
 @dataclass(frozen=True)
@@ -60,17 +60,25 @@ class SyntheticConfig:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
 
 
-def generate_synthetic(config: SyntheticConfig) -> List[TraceRecord]:
-    """Produce the trace described by *config* (deterministic per seed)."""
+def iter_synthetic(config: SyntheticConfig) -> Iterator[TraceRecord]:
+    """Yield the trace described by *config* lazily (deterministic per seed).
+
+    One record is materialized at a time, so a 10M-record replay can feed
+    :func:`repro.workloads.driver.replay_trace` straight from the generator
+    with O(1) trace memory.  Identical stream to
+    :func:`generate_synthetic`: the list form is just this iterator,
+    collected (the RNG draw order, including the first record's skipped
+    sequentiality roll, is preserved exactly).
+    """
     addr_rng = stream(config.seed, "addresses")
     mix_rng = stream(config.seed, "mix")
     arrival_rng = stream(config.seed, "arrivals")
     priority_rng = stream(config.seed, "priority")
 
     slots = config.region_bytes // config.request_bytes
-    records: List[TraceRecord] = []
     now = 0.0
     last_end = 0
+    first = True
     mean_interarrival = config.interarrival_max_us / 2.0
     for _ in range(config.count):
         if config.interarrival_max_us > 0:
@@ -83,7 +91,7 @@ def generate_synthetic(config: SyntheticConfig) -> List[TraceRecord]:
             if mix_rng.random() < config.read_fraction
             else TraceOp.WRITE
         )
-        if records and addr_rng.random() < config.seq_probability:
+        if not first and addr_rng.random() < config.seq_probability:
             offset = last_end
             if offset + config.request_bytes > config.region_bytes:
                 offset = 0
@@ -96,8 +104,11 @@ def generate_synthetic(config: SyntheticConfig) -> List[TraceRecord]:
             and priority_rng.random() < config.priority_fraction
             else 0
         )
-        records.append(
-            TraceRecord(now, op, offset, config.request_bytes, priority)
-        )
+        yield TraceRecord(now, op, offset, config.request_bytes, priority)
+        first = False
         last_end = offset + config.request_bytes
-    return records
+
+
+def generate_synthetic(config: SyntheticConfig) -> List[TraceRecord]:
+    """Produce the trace described by *config* (deterministic per seed)."""
+    return list(iter_synthetic(config))

@@ -22,21 +22,38 @@ record order among themselves.  The only requirement streaming adds is that
 record timestamps be sorted to within the window (every generator in
 :mod:`repro.traces` emits sorted traces); pass ``window=None`` to fall back
 to full pre-scheduling for pathological inputs.
+
+Streaming results
+-----------------
+A streamed *trace* still produced an O(trace) *result*: ``WorkloadResult``
+keeps one :class:`~repro.device.interface.Completion` per record, which is
+what the paper's tables want at experiment scale but caps replay length in
+memory.  ``replay_trace(..., sink=...)`` is the constant-memory mode: pass
+any :class:`ResultSink` — typically a :class:`StreamingResult`, which folds
+each completion into per-(op, priority) aggregates
+(:class:`repro.sim.stats.ClassAggregate`: count, bytes, exact mean/max, a
+bounded-relative-error quantile sketch, and a seeded reservoir sample) and
+answers the same ``latency``/``bandwidth_mb_s``/``count`` queries as
+``WorkloadResult``.  The default remains the list-of-completions mode, so
+existing call sites and golden snapshots are untouched; the *simulation* is
+identical either way — only what is retained about it changes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import (Callable, Dict, Iterable, List, Optional, Protocol,
+                    Tuple, Union)
 
 from repro.device.interface import Completion, IORequest, OpType
 from repro.sim.engine import Simulator
-from repro.sim.stats import LatencyRecorder, LatencySummary
+from repro.sim.stats import (ClassAggregate, LatencyRecorder, LatencySummary,
+                             QuantileSketch)
 from repro.traces.record import TraceOp, TraceRecord
 from repro.units import mb_per_s
 
-__all__ = ["WorkloadResult", "replay_trace", "ClosedLoopDriver",
-           "REPLAY_WINDOW"]
+__all__ = ["WorkloadResult", "ResultSink", "StreamingResult", "replay_trace",
+           "ClosedLoopDriver", "REPLAY_WINDOW"]
 
 #: default bound on concurrently-scheduled future submissions in
 #: :func:`replay_trace` (heap memory is O(window), not O(trace length))
@@ -86,6 +103,103 @@ class WorkloadResult:
         return mb_per_s(nbytes, self.elapsed_us)
 
 
+class ResultSink(Protocol):
+    """Anything that can absorb completions from a driver, one at a time.
+
+    ``record`` is called once per finished request, on the simulator clock,
+    with the completed :class:`~repro.device.interface.IORequest`; the sink
+    must read what it needs immediately and hold no reference (the request
+    object is driver-owned and garbage the moment the callback returns —
+    retaining it would defeat the bounded-memory contract).  The driver
+    stamps ``elapsed_us`` when the replay drains.
+    """
+
+    elapsed_us: float
+
+    def record(self, request: IORequest) -> None: ...
+
+
+class StreamingResult:
+    """O(1)-memory replay result: the :class:`ResultSink` most callers want.
+
+    Keeps one :class:`~repro.sim.stats.ClassAggregate` per (op, priority)
+    traffic class — at most eight, regardless of trace length — and
+    answers the same queries as :class:`WorkloadResult`:
+
+    * ``latency(op=..., priority=...)`` — :class:`LatencySummary` whose
+      count/mean/max are exact and whose percentiles carry the sketch's
+      bounded relative error (``alpha``, default 1%),
+    * ``bandwidth_mb_s(op=...)``, ``count``, ``elapsed_us``.
+
+    Reservoir seeds derive deterministically from ``seed`` per class, so a
+    replay is reproducible sample-for-sample.
+    """
+
+    #: stable per-class seed offsets (enum hash order is not deterministic)
+    _OP_ORDER = {op: i for i, op in enumerate(OpType)}
+
+    def __init__(self, alpha: float = 0.01, reservoir_k: int = 1024,
+                 seed: int = 0x5EED) -> None:
+        self._alpha = alpha
+        self._reservoir_k = reservoir_k
+        self._seed = seed
+        self._classes: Dict[Tuple[OpType, bool], ClassAggregate] = {}
+        self.elapsed_us = 0.0
+
+    def record(self, request: IORequest) -> None:
+        key = (request.op, request.priority > 0)
+        aggregate = self._classes.get(key)
+        if aggregate is None:
+            class_seed = (self._seed * 31
+                          + self._OP_ORDER[request.op] * 2 + key[1])
+            aggregate = self._classes[key] = ClassAggregate(
+                self._alpha, self._reservoir_k, class_seed
+            )
+        aggregate.add(request.complete_us - request.submit_us, request.size)
+
+    # -- the WorkloadResult query API ------------------------------------
+
+    @property
+    def count(self) -> int:
+        return sum(agg.count for agg in self._classes.values())
+
+    def latency(
+        self,
+        op: Optional[OpType] = None,
+        priority: Optional[bool] = None,
+    ) -> LatencySummary:
+        """Latency summary filtered by op and/or priority class."""
+        matched = [
+            aggregate
+            for (key_op, key_pri), aggregate in sorted(
+                self._classes.items(),
+                key=lambda item: (self._OP_ORDER[item[0][0]], item[0][1]),
+            )
+            if (op is None or key_op is op)
+            and (priority is None or key_pri == priority)
+        ]
+        if not matched:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        if len(matched) == 1:
+            return matched[0].latencies.summary()
+        merged = QuantileSketch(self._alpha)
+        for aggregate in matched:
+            merged.merge(aggregate.latencies.sketch)
+        return merged.summary()
+
+    def bandwidth_mb_s(self, op: Optional[OpType] = None) -> float:
+        nbytes = sum(
+            aggregate.bytes
+            for (key_op, _), aggregate in self._classes.items()
+            if op is None or key_op is op
+        )
+        return mb_per_s(nbytes, self.elapsed_us)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<StreamingResult n={self.count} "
+                f"classes={len(self._classes)}>")
+
+
 def replay_trace(
     sim: Simulator,
     device,
@@ -93,7 +207,8 @@ def replay_trace(
     time_scale: float = 1.0,
     collect_frees: bool = False,
     window: Optional[int] = REPLAY_WINDOW,
-) -> WorkloadResult:
+    sink: Optional[ResultSink] = None,
+) -> Union[WorkloadResult, ResultSink]:
     """Open-loop replay: submit each record at ``time_us * time_scale``.
 
     Returns after the event queue drains.  READ/WRITE completions are
@@ -103,13 +218,32 @@ def replay_trace(
     At most ``window`` future submissions are scheduled at once (see the
     module docstring); ``window=None`` pre-schedules the whole trace, which
     accepts arbitrarily unsorted timestamps at O(trace) heap cost.
-    """
-    result = WorkloadResult()
-    start = sim.now
 
-    def on_complete(request: IORequest) -> None:
-        if request.op in (OpType.READ, OpType.WRITE) or collect_frees:
-            result.completions.append(Completion.of(request))
+    With ``sink`` (any :class:`ResultSink`, e.g. :class:`StreamingResult`)
+    completions stream into the sink instead of accumulating as a list, and
+    the sink is returned; result memory is then whatever the sink keeps —
+    O(1) for :class:`StreamingResult` — so replay length is bounded by
+    patience, not RAM.  Pair it with a generator of records (e.g.
+    :func:`repro.traces.synthetic.iter_synthetic`) to keep the trace side
+    O(1) as well.
+    """
+    result: Union[WorkloadResult, ResultSink]
+    if sink is None:
+        result = WorkloadResult()
+        completions = result.completions
+
+        def on_complete(request: IORequest) -> None:
+            if request.op in (OpType.READ, OpType.WRITE) or collect_frees:
+                completions.append(Completion.of(request))
+    else:
+        result = sink
+        sink_record = sink.record
+
+        def on_complete(request: IORequest) -> None:
+            if request.op in (OpType.READ, OpType.WRITE) or collect_frees:
+                sink_record(request)
+
+    start = sim.now
 
     def submit(record: TraceRecord) -> None:
         device.submit(

@@ -1,0 +1,331 @@
+"""Streaming (bounded-memory) replay results: sketch, reservoir, sink.
+
+Pins the PR 3 contracts:
+
+1. **Sketch accuracy** — :class:`QuantileSketch` quantiles stay within the
+   configured relative error of exact percentiles, with exact count, mean,
+   and max; merging sketches is exact.
+2. **Reservoir** — bounded size, deterministic per seed.
+3. **Sink equivalence** — replaying through a :class:`StreamingResult`
+   leaves the *simulation* bit-identical to list mode (clock, event count,
+   FTL stats) and answers the same queries within sketch tolerance; the
+   100k-record cross-check is the acceptance gate for the 10M pipeline.
+4. **Bounded memory** — the streaming result's footprint is a handful of
+   per-class aggregates no matter how many records flow through.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.device.interface import OpType
+from repro.device.presets import s4slc_sim
+from repro.device.ssd import SSD
+from repro.device.ssd_config import SSDConfig
+from repro.ftl.prefill import prefill_pagemap
+from repro.sim.engine import Simulator
+from repro.sim.stats import (LatencyRecorder, QuantileSketch,
+                             ReservoirSampler, StreamingLatencyRecorder,
+                             percentile)
+from repro.traces.synthetic import (SyntheticConfig, generate_synthetic,
+                                    iter_synthetic)
+from repro.workloads.driver import StreamingResult, replay_trace
+from tests.conftest import small_geometry
+
+KB4 = 4096
+
+
+class TestQuantileSketch:
+    def _exact(self, values, q):
+        return percentile(sorted(values), q)
+
+    @pytest.mark.parametrize("alpha", [0.01, 0.05])
+    def test_quantiles_within_relative_error(self, alpha):
+        rng = random.Random(42)
+        values = [rng.lognormvariate(5.0, 1.5) for _ in range(50_000)]
+        sketch = QuantileSketch(alpha)
+        for value in values:
+            sketch.add(value)
+        for q in (0.01, 0.25, 0.50, 0.90, 0.95, 0.99):
+            exact = self._exact(values, q)
+            estimate = sketch.quantile(q)
+            # α bounds the distance to the true order statistic; allow a
+            # hair more for the exact side's interpolation between ranks
+            assert abs(estimate - exact) / exact < 2 * alpha + 0.005, q
+
+    def test_count_mean_max_are_exact(self):
+        values = [3.5, 1.25, 100.0, 42.0, 0.75]
+        sketch = QuantileSketch()
+        for value in values:
+            sketch.add(value)
+        assert sketch.count == 5
+        assert sketch.mean == pytest.approx(sum(values) / 5, rel=1e-12)
+        assert sketch.max == 100.0
+        assert sketch.min == 0.75
+        assert sketch.quantile(1.0) == 100.0
+
+    def test_empty_sketch_raises_like_percentile(self):
+        with pytest.raises(ValueError):
+            QuantileSketch().quantile(0.5)
+
+    def test_sub_floor_values_collapse_to_zero_bucket(self):
+        sketch = QuantileSketch(floor=1.0)
+        for _ in range(10):
+            sketch.add(1e-6)
+        sketch.add(100.0)
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.quantile(1.0) == 100.0
+
+    def test_merge_equals_feeding_one_sketch(self):
+        rng = random.Random(7)
+        values = [rng.expovariate(0.01) for _ in range(5000)]
+        combined = QuantileSketch()
+        half_a, half_b = QuantileSketch(), QuantileSketch()
+        for i, value in enumerate(values):
+            combined.add(value)
+            (half_a if i % 2 else half_b).add(value)
+        half_a.merge(half_b)
+        assert half_a.count == combined.count
+        assert half_a.sum == pytest.approx(combined.sum, rel=1e-12)
+        for q in (0.1, 0.5, 0.99):
+            assert half_a.quantile(q) == combined.quantile(q)
+
+    def test_merge_rejects_mismatched_buckets(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(0.01).merge(QuantileSketch(0.02))
+
+    def test_memory_bounded_by_dynamic_range_not_count(self):
+        sketch = QuantileSketch()
+        rng = random.Random(3)
+        for _ in range(200_000):
+            sketch.add(rng.uniform(1.0, 1e7))
+        # log_gamma(1e7) ≈ 810 buckets at alpha=1% — count-independent
+        assert sketch.bucket_count < 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(alpha=0.0)
+        with pytest.raises(ValueError):
+            QuantileSketch(floor=0.0)
+        with pytest.raises(ValueError):
+            QuantileSketch().add(-1.0)
+        sketch = QuantileSketch()
+        sketch.add(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+
+
+class TestReservoirSampler:
+    def test_size_bounded_and_deterministic(self):
+        def fill(seed):
+            reservoir = ReservoirSampler(capacity=64, seed=seed)
+            for i in range(10_000):
+                reservoir.add(float(i))
+            return list(reservoir.samples)
+
+        assert len(fill(1)) == 64
+        assert fill(1) == fill(1)
+        assert fill(1) != fill(2)
+
+    def test_short_stream_kept_verbatim(self):
+        reservoir = ReservoirSampler(capacity=8)
+        for i in range(5):
+            reservoir.add(float(i))
+        assert reservoir.samples == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert reservoir.seen == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(capacity=0)
+
+
+class TestStreamingLatencyRecorder:
+    def test_summary_matches_exact_recorder_within_alpha(self):
+        rng = random.Random(11)
+        exact = LatencyRecorder()
+        streaming = StreamingLatencyRecorder(alpha=0.01)
+        for _ in range(30_000):
+            latency = rng.lognormvariate(6.0, 1.0)
+            exact.record(latency)
+            streaming.record(latency)
+        a, b = exact.summary(), streaming.summary()
+        assert b.count == a.count
+        assert b.mean_us == pytest.approx(a.mean_us, rel=1e-9)
+        assert b.max_us == a.max_us
+        for field in ("p50_us", "p95_us", "p99_us"):
+            assert getattr(b, field) == pytest.approx(
+                getattr(a, field), rel=0.025
+            ), field
+
+    def test_empty_summary_is_zeros(self):
+        summary = StreamingLatencyRecorder().summary()
+        assert summary.count == 0 and summary.mean_us == 0.0
+
+
+class _QueueHighWater:
+    """Wraps a device's submit to record the deepest host queue seen."""
+
+    def __init__(self, device):
+        self.device = device
+        self.max_queued = 0
+        self._submit = device.submit
+
+    def __call__(self, request):
+        self._submit(request)
+        if self.device.queued > self.max_queued:
+            self.max_queued = self.device.queued
+
+
+class TestStreamingResultSink:
+    def _replay(self, sink, count=3000, seed=5):
+        sim = Simulator()
+        device = SSD(sim, SSDConfig(
+            n_elements=4, geometry=small_geometry(), scheduler="swtf",
+            controller_overhead_us=5.0, max_inflight=8,
+        ))
+        trace = generate_synthetic(SyntheticConfig(
+            count=count,
+            region_bytes=int(device.capacity_bytes * 0.6),
+            request_bytes=KB4,
+            read_fraction=0.5,
+            priority_fraction=0.2,
+            interarrival_max_us=120.0,
+            seed=seed,
+        ))
+        result = replay_trace(sim, device, trace, sink=sink)
+        return result, sim, device
+
+    def test_simulation_identical_to_list_mode(self):
+        streaming, sim_s, dev_s = self._replay(StreamingResult())
+        listed, sim_l, dev_l = self._replay(None)
+        assert sim_s.now == sim_l.now
+        assert sim_s.events_run == sim_l.events_run
+        assert vars(dev_s.ftl.stats.snapshot()) == vars(dev_l.ftl.stats.snapshot())
+        assert streaming.elapsed_us == listed.elapsed_us
+        assert streaming.count == listed.count
+
+    def test_query_api_parity(self):
+        streaming, _, _ = self._replay(StreamingResult(seed=123))
+        listed, _, _ = self._replay(None)
+        for kwargs in (dict(), dict(op=OpType.READ), dict(op=OpType.WRITE),
+                       dict(priority=True), dict(priority=False),
+                       dict(op=OpType.WRITE, priority=False)):
+            a = listed.latency(**kwargs)
+            b = streaming.latency(**kwargs)
+            assert b.count == a.count, kwargs
+            assert b.mean_us == pytest.approx(a.mean_us, rel=1e-9), kwargs
+            assert b.max_us == a.max_us, kwargs
+            if a.count:
+                for field in ("p50_us", "p95_us", "p99_us"):
+                    assert getattr(b, field) == pytest.approx(
+                        getattr(a, field), rel=0.03
+                    ), (kwargs, field)
+        for op in (None, OpType.READ, OpType.WRITE):
+            assert streaming.bandwidth_mb_s(op) == pytest.approx(
+                listed.bandwidth_mb_s(op), rel=1e-9
+            )
+
+    def test_result_memory_is_class_bounded(self):
+        streaming, _, _ = self._replay(StreamingResult(reservoir_k=32))
+        assert len(streaming._classes) <= 8
+        for aggregate in streaming._classes.values():
+            assert len(aggregate.latencies.reservoir.samples) <= 32
+            assert aggregate.latencies.sketch.bucket_count < 1000
+
+    def test_streaming_device_stats_bound_the_device_side(self):
+        """``streaming_stats=True`` keeps the *device's* recorders O(1) too
+        (the last per-record accumulator), with identical counts and
+        sketch-tolerance summaries."""
+        def build(streaming):
+            sim = Simulator()
+            return sim, SSD(sim, SSDConfig(
+                n_elements=4, geometry=small_geometry(),
+                controller_overhead_us=5.0, streaming_stats=streaming,
+            ))
+
+        sim_e, exact_dev = build(False)
+        sim_s, streaming_dev = build(True)
+        trace = generate_synthetic(SyntheticConfig(
+            count=3000, region_bytes=int(exact_dev.capacity_bytes * 0.5),
+            request_bytes=KB4, read_fraction=0.5, interarrival_max_us=100.0,
+            seed=4,
+        ))
+        replay_trace(sim_e, exact_dev, list(trace))
+        replay_trace(sim_s, streaming_dev, list(trace))
+        for attr in ("reads", "writes"):
+            exact = getattr(exact_dev.stats, attr)
+            stream = getattr(streaming_dev.stats, attr)
+            assert stream.count == exact.count
+            # exact recorder retains everything; streaming one a reservoir
+            assert len(exact.samples) == exact.count
+            assert len(stream.samples) <= 1024
+            a, b = exact.summary(), stream.summary()
+            assert b.mean_us == pytest.approx(a.mean_us, rel=1e-9)
+            assert b.max_us == a.max_us
+            assert b.p95_us == pytest.approx(a.p95_us, rel=0.03)
+
+    def test_empty_filters_return_zero_summary(self):
+        streaming, _, _ = self._replay(StreamingResult())
+        summary = streaming.latency(op=OpType.FREE)
+        assert summary.count == 0 and summary.max_us == 0.0
+
+
+class TestReplayAtScaleCrossCheck:
+    """The acceptance gate: a 100k-record replay through the full device
+    stack, streamed vs listed — identical simulation, quantiles within
+    sketch tolerance, queue (and thus total memory) bounded."""
+
+    COUNT = 100_000
+
+    def _run(self, sink):
+        sim = Simulator()
+        device = s4slc_sim(sim, element_mb=32, scheduler="swtf",
+                           max_inflight=32, controller_overhead_us=5.0)
+        prefill_pagemap(device.ftl, 0.60, overwrite_fraction=0.15)
+        high_water = _QueueHighWater(device)
+        device.submit = high_water
+        config = SyntheticConfig(
+            count=self.COUNT,
+            region_bytes=int(device.capacity_bytes * 0.6),
+            request_bytes=KB4,
+            read_fraction=0.5,
+            seq_probability=0.3,
+            interarrival_max_us=80.0,
+            priority_fraction=0.1,
+            seed=77,
+        )
+        result = replay_trace(sim, device, iter_synthetic(config), sink=sink)
+        device.ftl.check_consistency()
+        return result, sim, device, high_water
+
+    def test_streamed_100k_matches_list_mode(self):
+        streaming, sim_s, dev_s, water_s = self._run(StreamingResult())
+        listed, sim_l, dev_l, water_l = self._run(None)
+        # the simulation itself is bit-identical
+        assert sim_s.now == sim_l.now
+        assert sim_s.events_run == sim_l.events_run
+        assert vars(dev_s.ftl.stats.snapshot()) == vars(dev_l.ftl.stats.snapshot())
+        assert water_s.max_queued == water_l.max_queued
+        # device kept up: bounded queue, so replay memory is O(window)
+        assert water_s.max_queued < 2000
+        # result queries agree within sketch tolerance
+        assert streaming.count == listed.count == self.COUNT
+        for op in (None, OpType.READ, OpType.WRITE):
+            a, b = listed.latency(op=op), streaming.latency(op=op)
+            assert b.count == a.count
+            assert b.mean_us == pytest.approx(a.mean_us, rel=1e-9)
+            assert b.max_us == a.max_us
+            for field in ("p50_us", "p95_us", "p99_us"):
+                assert getattr(b, field) == pytest.approx(
+                    getattr(a, field), rel=0.025
+                ), (op, field)
+        # and the streaming side held O(1) state
+        assert len(streaming._classes) <= 8
+
+    def test_iter_synthetic_is_generate_synthetic(self):
+        config = SyntheticConfig(count=500, region_bytes=1 << 20,
+                                 seq_probability=0.4, read_fraction=0.3,
+                                 priority_fraction=0.1, seed=9)
+        assert list(iter_synthetic(config)) == generate_synthetic(config)
