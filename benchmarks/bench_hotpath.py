@@ -25,6 +25,17 @@ plus two full-device scenarios through the host-queue dispatch path:
   10M-record replay (its one-off measurement lives in ``BENCH_CORE.json``
   meta, like the pre-refactor SWTF wall time).
 
+plus one setup-path scenario:
+
+* ``prefill``         — steady-state device aging
+  (:mod:`repro.ftl.prefill`): a pagemap fill + overwrite scatter and a
+  stripe-FTL fill on multi-GB-class geometry.  Setup wall time dominated
+  short benches and CI before the PR 5 vectorization, yet was unmeasured
+  by the gate; this scenario times it and fingerprints the *resulting FTL
+  state* (a CRC over maps, page states, write pointers, and erase counts,
+  reported as ``prefill_digest``), so a faster prefill that ages the
+  device differently cannot pass.
+
 Each scenario reports host ops/sec and simulator events/sec (wall time),
 plus a behaviour *fingerprint* (final simulated clock, op counts, FTL
 stats) that must not move when the implementation gets faster.
@@ -47,6 +58,7 @@ import json
 import random
 import sys
 import time
+import zlib
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
@@ -58,8 +70,9 @@ from repro.device.presets import s4slc_sim
 from repro.flash.element import FlashElement
 from repro.flash.geometry import FlashGeometry
 from repro.flash.timing import FlashTiming
+from repro.ftl.blockmap import BlockMappedFTL
 from repro.ftl.pagemap import PageMappedFTL
-from repro.ftl.prefill import prefill_pagemap
+from repro.ftl.prefill import prefill_pagemap, prefill_stripe_ftl
 from repro.sim.engine import Simulator
 from repro.traces.synthetic import (SyntheticConfig, generate_synthetic,
                                     iter_synthetic)
@@ -74,6 +87,8 @@ _BASE_OPS = {
     "cleaning_heavy": 12_000,
     "swtf_saturated": 8_000,
     "replay_10m": 100_000,
+    #: blocks per element for the prefill scenario (sizes the aged device)
+    "prefill": 1_024,
 }
 
 #: ``--replay-count``: absolute record-count override for ``replay_10m``
@@ -151,6 +166,9 @@ def _measure(build: Callable[[], tuple]) -> Dict[str, float]:
         "events_per_s": round(sim.events_run / wall_s, 1),
     }
     out.update(_fingerprint(sim, ftl))
+    extra = getattr(loop, "extra_fingerprint", None)
+    if extra is not None:
+        out.update(extra())
     return out
 
 
@@ -277,12 +295,69 @@ def _scenario_replay_10m(scale: float):
     return sim, device.ftl, runner
 
 
+def _state_crc(ftl, crc: int = 0) -> int:
+    """CRC32 over the FTL's full logical/physical state (maps, page states,
+    write pointers, erase counts).  Any behavioural change to prefill —
+    different blocks carved, different overwrite scatter — moves it."""
+    for el in ftl.elements:
+        crc = zlib.crc32(el.page_state.tobytes(), crc)
+        crc = zlib.crc32(el.reverse_lpn.tobytes(), crc)
+        crc = zlib.crc32(el.write_ptr.tobytes(), crc)
+        crc = zlib.crc32(el.erase_count.tobytes(), crc)
+    for emap in ftl._maps:
+        crc = zlib.crc32(emap.tobytes(), crc)
+    return crc
+
+
+class _PrefillRunner:
+    """Aged-device setup as the measured body (see module docstring)."""
+
+    def __init__(self, sim, page_ftl, stripe_ftl) -> None:
+        self.sim = sim
+        self.page_ftl = page_ftl
+        self.stripe_ftl = stripe_ftl
+        self.count = 0
+
+    def run(self) -> None:
+        self.count = prefill_pagemap(
+            self.page_ftl, 0.88, overwrite_fraction=0.05,
+            rng=random.Random(1234),
+        )
+        self.count += prefill_stripe_ftl(self.stripe_ftl, 0.90)
+        self.stripe_ftl.check_consistency()
+
+    def extra_fingerprint(self) -> Dict[str, int]:
+        digest = _state_crc(self.page_ftl)
+        digest = _state_crc(self.stripe_ftl, digest)
+        return {"prefill_digest": digest}
+
+
+def _scenario_prefill(scale: float):
+    """Steady-state aging on multi-GB-class geometry: a pagemap fill with
+    overwrite scatter plus a stripe-FTL fill (see module docstring)."""
+    blocks = max(96, int(_BASE_OPS["prefill"] * scale))
+    sim = Simulator()
+    geom = FlashGeometry(page_bytes=4096, pages_per_block=64,
+                         blocks_per_element=blocks)
+    page_elements = [FlashElement(sim, geom, FlashTiming.slc(), element_id=i)
+                     for i in range(8)]
+    page_ftl = PageMappedFTL(sim, page_elements, spare_fraction=0.10)
+    stripe_elements = [
+        FlashElement(sim, geom, FlashTiming.slc(), element_id=8 + i)
+        for i in range(8)
+    ]
+    stripe_ftl = BlockMappedFTL(sim, stripe_elements, gang_size=4,
+                                spare_fraction=0.10)
+    return sim, page_ftl, _PrefillRunner(sim, page_ftl, stripe_ftl)
+
+
 SCENARIOS: Dict[str, Callable[[float], tuple]] = {
     "pure_write": _scenario_pure_write,
     "mixed_rw": _scenario_mixed_rw,
     "cleaning_heavy": _scenario_cleaning_heavy,
     "swtf_saturated": _scenario_swtf_saturated,
     "replay_10m": _scenario_replay_10m,
+    "prefill": _scenario_prefill,
 }
 
 
@@ -342,6 +417,19 @@ def test_hotpath_replay_10m(benchmark):
     result = _bench(benchmark, "replay_10m")
     # both op classes stream through the sink pipeline
     assert result["host_reads"] > 0 and result["host_writes"] > 0
+
+
+def test_hotpath_prefill(benchmark):
+    from benchmarks.conftest import BENCH_OPTIONS, bench_scale
+
+    result = benchmark.pedantic(
+        run_scenario, args=("prefill",), kwargs=dict(scale=bench_scale()),
+        **BENCH_OPTIONS,
+    )
+    # the scenario must actually age both FTL families, and the digest
+    # must be present for the perf gate to compare
+    assert result["ops"] > 0
+    assert result["prefill_digest"] != 0
 
 
 # ---------------------------------------------------------------------------

@@ -45,10 +45,13 @@ from benchmarks.bench_hotpath import BENCH_CORE, run_all
 
 #: metrics gated on regression (higher is better)
 _METRICS = ("ops_per_s", "events_per_s")
-#: fingerprint fields that must match exactly
+#: fingerprint fields that must match exactly.  ``prefill_digest`` is the
+#: setup scenario's FTL-state CRC (absent from the event-driven scenarios,
+#: where missing-on-both-sides compares equal).
 _FINGERPRINT = (
     "final_clock_us", "host_writes", "host_reads", "flash_pages_programmed",
     "clean_pages_moved", "clean_erases", "clean_time_us", "ops", "events",
+    "prefill_digest",
 )
 
 

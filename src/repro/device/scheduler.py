@@ -178,6 +178,25 @@ class SWTFScheduler:
     def __init__(self) -> None:
         #: target-element tuple -> deque of (seq, request) entries
         self._buckets: dict[tuple, deque[tuple]] = {}
+        #: the non-empty subset of _buckets (same deque objects): select
+        #: walks only these; a bucket drops out when a skim empties it and
+        #: re-enters on the next submit that touches it.  Selection is
+        #: order-independent (strict (wait, seq) minimum — seqs are
+        #: unique), so which dict the walk iterates cannot change a
+        #: decision, only how much dead-entry skimming it performs.
+        self._active: dict[tuple, deque[tuple]] = {}
+        #: interned single-element target tuples (lazily built per FTL):
+        #: the overwhelmingly common 4 KB request targets one element, and
+        #: reusing one tuple object per element skips a tuple build per
+        #: submit while keeping bucket keys identical (tuples compare by
+        #: content)
+        self._single: Optional[List[tuple]] = None
+        #: prune empty buckets only once the dict outgrows this (empty
+        #: deques are kept between residencies — deleting them per select
+        #: and reallocating per submit cost an allocation per request on
+        #: shallow queues; the key space is bounded by the FTL's distinct
+        #: target sets, so keeping them is cheap and pruning is a backstop)
+        self._prune_len = 64
 
     def on_submit(self, request: IORequest, ssd: "SSD") -> None:
         """Resolve the request's target elements and bucket it under them.
@@ -187,34 +206,98 @@ class SWTFScheduler:
         reads the target set off the bucket dict instead of recomputing or
         carrying per-request state.
         """
-        if request.op in (OpType.FREE, OpType.FLUSH):
-            targets = ()
+        op = request.op
+        if op is OpType.FREE or op is OpType.FLUSH:
+            targets: tuple = ()
         else:
             ftl = ssd.ftl
-            elements = ftl.elements
-            targets = tuple(
-                elements[e]
-                for e in ftl.elements_for_range(request.offset, request.size)
-            )
-        bucket = self._buckets.get(targets)
+            indices = ftl.elements_for_range(request.offset, request.size)
+            if len(indices) == 1:
+                single = self._single
+                if single is None:
+                    single = self._single = [(el,) for el in ftl.elements]
+                targets = single[indices[0]]
+            else:
+                elements = ftl.elements
+                targets = tuple(elements[e] for e in indices)
+        buckets = self._buckets
+        bucket = buckets.get(targets)
         if bucket is None:
-            bucket = self._buckets[targets] = deque()
+            if len(buckets) >= self._prune_len:
+                active = self._active
+                for key in [k for k, b in buckets.items() if not b]:
+                    del buckets[key]
+                    active.pop(key, None)
+                self._prune_len = max(2 * (len(buckets) + 1), 64)
+            bucket = buckets[targets] = deque()
+        if not bucket:
+            self._active[targets] = bucket
         bucket.append((request.seq, request))
 
     def select(self, ssd: "SSD") -> Optional[IORequest]:
+        """Pick the next request to dispatch (None when nothing qualifies).
+
+        Fast path: one linear min-scan over the buckets finds the best
+        ``(wait, arrival)`` candidate; when it is admissible — every read,
+        and every write outside an allocation stall — that single probe
+        decides the dispatch with no candidate heap built at all.  An
+        inadmissible best falls back to :meth:`_select_probing`, which
+        rebuilds the full candidate heap and walks it in ``(wait, arrival)``
+        order exactly as the always-heap implementation did; the repeated
+        probe of the best candidate is a memoized O(1) hit
+        (``SSD.admissible``), so the two-phase split never recomputes an
+        admission answer.
+        """
         now = ssd.sim.now
-        buckets = self._buckets
-        candidates: List[tuple] = []
-        dead: Optional[List[tuple]] = None
-        for targets, bucket in buckets.items():
-            while bucket and not _live(bucket[0]):
+        best: Optional[IORequest] = None
+        best_key = 0.0
+        best_seq = 0
+        drained: Optional[List[tuple]] = None
+        for targets, bucket in self._active.items():
+            # head skim with the _live() predicate inlined (this loop runs
+            # per dispatch and the call overhead shows in profiles)
+            while bucket:
+                head_seq, head = bucket[0]
+                if head.queued and head.seq == head_seq:
+                    break
                 bucket.popleft()
-            if not bucket:
-                if dead is None:
-                    dead = []
-                dead.append(targets)
+            else:
+                # emptied by the skim: drop from the active walk (the
+                # deque itself stays in _buckets for reuse)
+                if drained is None:
+                    drained = []
+                drained.append(targets)
                 continue
             key = now  # zero-wait clamp: ties resolve by arrival order
+            for element in targets:
+                drain_at = element.drain_at_us
+                if drain_at > key:
+                    key = drain_at
+            if (best is None or key < best_key
+                    or (key == best_key and head_seq < best_seq)):
+                best = head
+                best_key = key
+                best_seq = head_seq
+        if drained:
+            active = self._active
+            for targets in drained:
+                del active[targets]
+        if best is None:
+            return None
+        if ssd.admissible(best):
+            return best
+        return self._select_probing(ssd, now)
+
+    def _select_probing(self, ssd: "SSD", now: float) -> Optional[IORequest]:
+        """The heap-ordered probe walk for the inadmissible-head case (an
+        allocation stall is in progress): identical decisions to the seed's
+        always-heap ``select``, just only paid for when skipping happens.
+        Bucket heads are already skimmed by the caller."""
+        candidates: List[tuple] = []
+        for targets, bucket in self._active.items():
+            if not bucket:
+                continue
+            key = now
             for element in targets:
                 drain_at = element.drain_at_us
                 if drain_at > key:
@@ -222,11 +305,6 @@ class SWTFScheduler:
             rest = iter(bucket)
             head_seq, head = next(rest)  # == bucket[0]; `rest` is past it
             candidates.append((key, head_seq, head, rest, bucket))
-        if dead:
-            for targets in dead:
-                del buckets[targets]
-        if not candidates:
-            return None
         heapify(candidates)
         chosen: Optional[IORequest] = None
         compact: Optional[List[deque]] = None

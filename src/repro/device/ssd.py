@@ -23,7 +23,7 @@ priority-aware cleaning.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro.device.interface import DeviceStats, IORequest, OpType
 from repro.device.scheduler import HostQueue, make_scheduler
@@ -37,7 +37,7 @@ from repro.flash.element import FlashElement
 from repro.ftl.blockmap import BlockMappedFTL
 from repro.ftl.hybrid import HybridLogBlockFTL
 from repro.ftl.pagemap import PageMappedFTL
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.resource import SerialResource
 
 __all__ = ["SSD"]
@@ -111,6 +111,15 @@ class SSD:
         self.queue = HostQueue()
         self._inflight = 0
         self._pending_priority = 0
+        # hot-loop scalars hoisted off the (frozen) config: _pump runs twice
+        # per request, so the attribute chains matter
+        self._max_inflight = cfg.max_inflight
+        self._overhead_us = cfg.controller_overhead_us
+        self._capacity_bytes = self.ftl.logical_capacity_bytes
+        #: one bound method for the buffer-insert completion plumbing (a
+        #: fresh bound method per insert is an allocation per write)
+        self._complete_b = self._complete
+        self._stats_record = self._stats.record
 
         self.ftl.priority_probe = lambda: self._pending_priority
         self.ftl.on_space_freed = self._space_freed
@@ -129,7 +138,7 @@ class SSD:
         return self._stats
 
     def submit(self, request: IORequest) -> None:
-        request.validate(self.capacity_bytes)
+        request.validate(self._capacity_bytes)
         request.submit_us = self.sim.now
         # a reused request object may have been mutated since its last
         # residency; its admission memo keys only the allocation state, so
@@ -137,9 +146,71 @@ class SSD:
         request.admit_epoch = 0
         if request.priority > 0:
             self._pending_priority += 1
+        if (self.queue._live == 0 and self._inflight < self._max_inflight
+                and (request.op is not OpType.WRITE
+                     or self.admissible(request))):
+            # empty-queue fast lane: with a single candidate every
+            # scheduler picks it (FCFS head; SWTF minimum over one bucket)
+            # iff admissible, so the queue/bucket round-trip — append,
+            # bucket entry, select walk, lazy removal — is skipped whole.
+            # On a device that keeps up with its arrivals this is the
+            # common case, and it is exactly equivalent: an inadmissible
+            # write falls through to the ordinary path, where the pump
+            # records the stall and forces reclamation as before.
+            # (non-WRITEs are always admissible; the op check here saves
+            # the probe call on the read-heavy half of a mixed load)
+            self._inflight += 1
+            # _arm_dispatch, inlined: this branch runs once per record on
+            # a keeping-up replay
+            ev = request._ev
+            if ev is None or ev.fn.__self__ is not self:
+                ev = self._build_dispatch_event(request)
+            sim = self.sim
+            sim.reschedule(ev, sim.now + self._overhead_us)
+            return
         self.queue.append(request)
         self.scheduler.on_submit(request, self)
         self._pump()
+
+    def submit_batch(self, requests: Iterable[IORequest]) -> None:
+        """Submit many requests arriving at this instant, in order.
+
+        The batched front door for drivers: semantically identical to
+        calling :meth:`submit` once per request — the dispatch pump still
+        runs after *each* enqueue, so scheduler decisions (and therefore
+        every downstream clock stamp) are bit-identical to sequential
+        submission.  What the batch amortizes is the per-request constant:
+        capacity, clock, queue, and scheduler entry points are resolved
+        once per window instead of once per record, which is where a large
+        slice of the replay path's per-record overhead lived.  Pair with
+        :class:`repro.device.interface.IORequestPool` recycling and the
+        whole submission path allocates nothing per record.
+        """
+        now = self.sim.now
+        capacity = self._capacity_bytes
+        queue = self.queue
+        append = queue.append
+        on_submit = self.scheduler.on_submit
+        pump = self._pump
+        max_inflight = self._max_inflight
+        admissible = self.admissible
+        arm = self._arm_dispatch
+        for request in requests:
+            request.validate(capacity)
+            request.submit_us = now
+            request.admit_epoch = 0
+            if request.priority > 0:
+                self._pending_priority += 1
+            if (queue._live == 0 and self._inflight < max_inflight
+                    and (request.op is not OpType.WRITE
+                         or admissible(request))):
+                # empty-queue fast lane (see submit())
+                self._inflight += 1
+                arm(request)
+                continue
+            append(request)
+            on_submit(request, self)
+            pump()
 
     # ------------------------------------------------------------------
     # dispatch machinery
@@ -167,34 +238,60 @@ class SSD:
         return ok
 
     def _pump(self) -> None:
-        while self._inflight < self.config.max_inflight and self.queue:
+        queue = self.queue
+        while self._inflight < self._max_inflight and queue._live:
             request = self.scheduler.select(self)
             if request is None:
-                head = self.queue.head()
+                head = queue.head()
                 if head is not None and head.op is OpType.WRITE:
                     self.ftl.stats.write_stalls += 1
                     # blocked on allocation headroom: force reclamation
                     self.ftl.ensure_space(head.offset, head.size)
                 return
-            self.queue.remove(request)
+            queue.remove(request)
             self._inflight += 1
-            self.sim.schedule(
-                self.config.controller_overhead_us, self._dispatch, request
-            )
+            self._arm_dispatch(request)
+
+    def _arm_dispatch(self, request: IORequest) -> None:
+        """Schedule the controller-overhead hop for a dispatched request.
+
+        The hop rides the request's reusable dispatch event (allocated once
+        per pooled request per device) instead of a fresh Event per
+        dispatch; a request dispatches at most once per queue residency, so
+        the event is always free here.  The per-device completion adapters
+        (``_cbs``) are built in the same breath, so the whole dispatch
+        chain reuses closures too.
+        """
+        ev = request._ev
+        if ev is None or ev.fn.__self__ is not self:
+            ev = self._build_dispatch_event(request)
+        sim = self.sim
+        sim.reschedule(ev, sim.now + self._overhead_us)
+
+    def _build_dispatch_event(self, request: IORequest) -> Event:
+        """Bind the reusable dispatch event + completion adapters (cold
+        path: once per pooled request per device)."""
+        ev = Event(0.0, 0, self._dispatch, (request,))
+        ev.alive = False
+        request._ev = ev
+        read_media = lambda now, r=request: self._read_media_done(r)
+        request._cbs = (
+            lambda now, r=request: self._write_arrived(r),
+            lambda r=request, cb=read_media, f=self.ftl: f.read(
+                r.offset, r.size, done=cb
+            ),
+            read_media,
+            lambda now, r=request: self._complete(r),
+        )
+        return ev
 
     def _dispatch(self, request: IORequest) -> None:
         op = request.op
         if op is OpType.WRITE:
-            self.link.transfer(
-                request.size, lambda now, r=request: self._write_arrived(r)
-            )
+            self.link.transfer(request.size, request._cbs[0])
         elif op is OpType.READ:
             self.write_buffer.before_read(
-                request.offset,
-                request.size,
-                proceed=lambda r=request: self.ftl.read(
-                    r.offset, r.size, done=lambda now, rr=r: self._read_media_done(rr)
-                ),
+                request.offset, request.size, proceed=request._cbs[1]
             )
         elif op is OpType.FREE:
             if self.config.trim_enabled:
@@ -214,20 +311,18 @@ class SSD:
         """
         if getattr(self.write_buffer, "ack", None) == "insert":
             request.early_release = True
-            self.write_buffer.insert(request, complete=self._complete)
+            self.write_buffer.insert(request, complete=self._complete_b)
             self._release_slot()
         else:
-            self.write_buffer.insert(request, complete=self._complete)
+            self.write_buffer.insert(request, complete=self._complete_b)
 
     def _read_media_done(self, request: IORequest) -> None:
         """Flash reads finished: return data over the host link."""
-        self.link.transfer(
-            request.size, lambda now, r=request: self._complete(r)
-        )
+        self.link.transfer(request.size, request._cbs[3])
 
     def _complete(self, request: IORequest) -> None:
         request.complete_us = self.sim.now
-        self._stats.record(request)
+        self._stats_record(request)
         if request.priority > 0:
             self._pending_priority -= 1
             if self._pending_priority == 0:
@@ -241,16 +336,31 @@ class SSD:
 
     def _release_slot(self) -> None:
         self._inflight -= 1
-        self._pump()
+        if self.queue._live:
+            self._pump()
 
-    def steal_queued_writes(self, lo: int, hi: int) -> List[IORequest]:
-        """Remove and return queued WRITEs *starting* inside [lo, hi].
+    def steal_queued_writes(
+        self, lo: int, hi: int, limit: Optional[int] = None
+    ) -> List[IORequest]:
+        """Remove and return queued WRITEs overlapping or abutting [lo, hi].
 
         Used by :class:`QueueMergingBuffer`: the stolen requests ride along
         with the write being dispatched (their completions fire with the
         merged batch, so they never occupy a dispatch slot of their own).
-        A stolen request may extend past ``hi``; the buffer grows its merge
-        window and steals again, chaining contiguous streams.
+
+        A write is stolen when its byte range intersects the window or
+        touches either edge (``offset <= hi and end >= lo``).  The seed
+        implementation only matched writes *starting* inside the window
+        (``lo <= offset <= hi``), which silently dropped co-queued writes
+        that begin below ``lo`` but overlap it — those later dispatched
+        alone and re-RMW'd the same stripe.  The buffer chases the union
+        range in both directions: a stolen write extending past either edge
+        grows the merge window and steals again, chaining contiguous
+        streams forward *and* backward.
+
+        ``limit`` caps how many writes one call may return (the buffer
+        passes its remaining batch headroom so a batch never exceeds
+        ``MAX_BATCH``); queue arrival order decides which are taken first.
 
         Stolen requests are removed lazily (flag flip per request) rather
         than by rebuilding the queue; the arrival deque and any scheduler
@@ -258,8 +368,11 @@ class SSD:
         """
         stolen: List[IORequest] = []
         for queued in self.queue:
-            if queued.op is OpType.WRITE and lo <= queued.offset <= hi:
+            if (queued.op is OpType.WRITE and queued.offset <= hi
+                    and queued.offset + queued.size >= lo):
                 stolen.append(queued)
+                if limit is not None and len(stolen) >= limit:
+                    break
         for request in stolen:
             self.queue.remove(request)
             request.early_release = True

@@ -27,6 +27,7 @@ retry when cleaning frees space.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
@@ -44,31 +45,70 @@ class PassthroughBuffer:
 
     Admission control happens at the SSD dispatcher (``admits``), so the
     FTL never sees a write it cannot allocate for.
+
+    Flush/barrier semantics: the buffer holds no data, but writes it has
+    issued may still be in flight inside the FTL.  ``flush_all`` therefore
+    counts outstanding issued writes and completes only once they drain —
+    an early barrier ack would claim durability for data still on the
+    flash command queues (the seed acked at +0 µs unconditionally, which a
+    regression test now pins against).
     """
 
     def __init__(self, sim: Simulator, ftl: "BaseFTL") -> None:
         self.sim = sim
         self.ftl = ftl
+        #: writes handed to the FTL whose ``done`` has not fired yet
+        self._outstanding = 0
+        #: barrier callbacks waiting for the outstanding count to hit zero
+        self._flush_waiters: List[Callable[[], None]] = []
 
     def admits(self, offset: int, size: int) -> bool:
         return self.ftl.can_accept_write(offset, size)
 
     def insert(self, request: IORequest, complete: Callable[[IORequest], None]) -> None:
         temp = "hot"
-        if request.hints and request.hints.get("temp") == "cold":
+        hints = request.hints
+        if hints is not None and hints.get("temp") == "cold":
             temp = "cold"
-        self.ftl.write(
-            request.offset,
-            request.size,
-            done=lambda now: complete(request),
-            temp=temp,
-        )
+        self._outstanding += 1
+        # the completion adapter is prebound per (request, buffer) pairing
+        # and recycled with the pooled request, like the SSD's dispatch
+        # adapters; ``complete`` is the device's completion entry point and
+        # does not change between residencies of the same device
+        done = request._wb_done
+        if done is None or request._wb_owner is not self:
+
+            def done(now: float, r: IORequest = request,
+                     c: Callable[[IORequest], None] = complete) -> None:
+                c(r)
+                out = self._outstanding - 1
+                self._outstanding = out
+                if out == 0 and self._flush_waiters:
+                    self._flush_drained()
+
+            request._wb_owner = self
+            request._wb_done = done
+        self.ftl.write(request.offset, request.size, done=done, temp=temp)
 
     def before_read(self, offset: int, size: int, proceed: Callable[[], None]) -> None:
         proceed()
 
     def flush_all(self, done: Callable[[], None]) -> None:
-        self.sim.schedule(0.0, done)
+        """Complete ``done`` once every issued write has left the FTL.
+
+        Completion is asynchronous (zero-delay event) even when nothing is
+        outstanding, preserving the no-reentrant-callback contract.
+        """
+        if self._outstanding == 0:
+            self.sim.schedule(0.0, done)
+        else:
+            self._flush_waiters.append(done)
+
+    def _flush_drained(self) -> None:
+        waiters = self._flush_waiters
+        self._flush_waiters = []
+        for done in waiters:
+            self.sim.schedule(0.0, done)
 
     def on_space_freed(self) -> None:
         pass
@@ -76,6 +116,32 @@ class PassthroughBuffer:
     @property
     def buffered_bytes(self) -> int:
         return 0
+
+
+class _MergeRun:
+    """One contiguous byte run of a merge batch, with its temperature tally.
+
+    ``n``/``cold`` count the requests whose ranges were folded into the
+    run; the run's write temperature is the majority hint (ties go hot, the
+    conservative default — cold placement parks data on worn blocks, so a
+    mixed run must not be parked on the word of a minority).
+    """
+
+    __slots__ = ("start", "end", "n", "cold")
+
+    def __init__(self, start: int, end: int, cold: int) -> None:
+        self.start = start
+        self.end = end
+        self.n = 1
+        self.cold = cold
+
+    @property
+    def temp(self) -> str:
+        return "cold" if 2 * self.cold > self.n else "hot"
+
+
+def _run_start(run: _MergeRun) -> int:
+    return run.start
 
 
 class QueueMergingBuffer(PassthroughBuffer):
@@ -88,6 +154,29 @@ class QueueMergingBuffer(PassthroughBuffer):
     whole batch.  There is no hold timer, so a workload with nothing to
     merge (sequentiality 0) behaves exactly like the passthrough baseline,
     matching Table 3's p=0 row.
+
+    Merge structure
+    ---------------
+    Coverage is maintained *incrementally* as requests are stolen: a sorted
+    list of disjoint :class:`_MergeRun` byte runs, each absorption a bisect
+    plus neighbour folds (amortized O(log runs) per request), replacing the
+    seed's collect-everything-then-sort pass (O(batch log batch) per batch,
+    rebuilt from scratch every time the steal window grew).  The run list
+    doubles as the merge-window tracker: its first start / last end give
+    the logical-page-aligned window chased in *both* directions — the seed
+    only chased ``hi`` upward, and its steal predicate only matched writes
+    starting inside the window, so co-queued writes overlapping the front
+    of the union range were silently left behind (see
+    ``SSD.steal_queued_writes``).
+
+    Each run carries a temperature tally so a run of cold-hinted requests
+    still lands in the FTL's cold partition — the seed's merge path dropped
+    the ``temp`` hint entirely, sending cold-hinted writes hot whenever
+    merging was enabled.
+
+    A batch absorbs at most :data:`MAX_BATCH` requests; the steal calls are
+    capped to the remaining headroom so truncation is exact, not
+    best-effort.
     """
 
     def __init__(self, sim: Simulator, ftl: "BaseFTL", ssd,
@@ -101,41 +190,87 @@ class QueueMergingBuffer(PassthroughBuffer):
     #: bound on how many co-queued requests one batch may absorb
     MAX_BATCH = 64
 
+    @staticmethod
+    def _is_cold(request: IORequest) -> int:
+        hints = request.hints
+        return 1 if hints is not None and hints.get("temp") == "cold" else 0
+
+    @staticmethod
+    def _absorb(runs: List[_MergeRun], start: int, end: int, cold: int) -> None:
+        """Fold [start, end) into the sorted disjoint run list.
+
+        Runs merge when they overlap *or touch* (byte-adjacent writes become
+        one contiguous FTL write), matching the seed's ``start <= prev_end``
+        rule, so the resulting coverage is identical to sorting all ranges
+        up front — interval union is order-independent.
+        """
+        i = bisect_right(runs, start, key=_run_start)
+        if i and runs[i - 1].end >= start:
+            run = runs[i - 1]
+            run.n += 1
+            run.cold += cold
+            if end <= run.end:
+                return
+            run.end = end
+        else:
+            run = _MergeRun(start, end, cold)
+            runs.insert(i, run)
+            i += 1
+        # the grown run may now swallow followers
+        j = i
+        while j < len(runs) and runs[j].start <= run.end:
+            follower = runs[j]
+            if follower.end > run.end:
+                run.end = follower.end
+            run.n += follower.n
+            run.cold += follower.cold
+            j += 1
+        if j > i:
+            del runs[i:j]
+
     def insert(self, request: IORequest, complete: Callable[[IORequest], None]) -> None:
         lp = self.page_bytes
+        group = [request]
+        runs: List[_MergeRun] = [
+            _MergeRun(request.offset, request.end, self._is_cold(request))
+        ]
         lo = (request.offset // lp) * lp
         hi = -(-request.end // lp) * lp
-        group = [request]
-        # chase the window: a stolen write may extend past the current
-        # stripe, pulling the next stripe's co-queued writes in too
+        # chase the window both ways: a stolen write extending past either
+        # edge pulls the adjacent stripe's co-queued writes in too
         while len(group) < self.MAX_BATCH:
-            stolen = self.ssd.steal_queued_writes(lo, hi)
+            stolen = self.ssd.steal_queued_writes(
+                lo, hi, limit=self.MAX_BATCH - len(group)
+            )
             if not stolen:
                 break
             group.extend(stolen)
-            hi = max(hi, -(-max(r.end for r in stolen) // lp) * lp)
+            for r in stolen:
+                self._absorb(runs, r.offset, r.end, self._is_cold(r))
+            new_lo = (runs[0].start // lp) * lp
+            new_hi = -(-runs[-1].end // lp) * lp
+            if new_lo == lo and new_hi == hi:
+                break  # window stable: the queue holds nothing else in range
+            lo, hi = new_lo, new_hi
         self.batches += 1
         self.merged_requests += len(group) - 1
 
-        # union coverage as sorted disjoint runs
-        ranges = sorted((r.offset, r.end) for r in group)
-        runs: List[List[int]] = []
-        for start, end in ranges:
-            if runs and start <= runs[-1][1]:
-                runs[-1][1] = max(runs[-1][1], end)
-            else:
-                runs.append([start, end])
-
         remaining = [len(runs)]
+        self._outstanding += len(runs)
 
         def run_done(now: float) -> None:
             remaining[0] -= 1
+            out = self._outstanding - 1
+            self._outstanding = out
             if remaining[0] == 0:
                 for member in group:
                     complete(member)
+            if out == 0 and self._flush_waiters:
+                self._flush_drained()
 
-        for start, end in runs:
-            self.ftl.write(start, end - start, done=run_done)
+        write = self.ftl.write
+        for run in runs:
+            write(run.start, run.end - run.start, done=run_done, temp=run.temp)
 
 
 class _Run:

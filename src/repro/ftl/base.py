@@ -15,7 +15,7 @@ SSD layer above:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from itertools import count
 from typing import Callable, Dict, List, Optional, Set
 
@@ -63,9 +63,13 @@ class DeviceFullError(RuntimeError):
     """
 
 
-@dataclass
+@dataclass(slots=True)
 class FTLStats:
-    """Counters every FTL maintains; the cleaning fields feed Tables 5/6."""
+    """Counters every FTL maintains; the cleaning fields feed Tables 5/6.
+
+    ``slots=True``: several counters bump on every host request, so the
+    instance must stay dict-free.  Use :meth:`as_dict` where the seed code
+    reached for ``vars()`` (slots classes have no ``__dict__``)."""
 
     host_reads: int = 0
     host_writes: int = 0
@@ -88,13 +92,17 @@ class FTLStats:
     #: writes refused admission at least once (backpressure events)
     write_stalls: int = 0
 
+    def as_dict(self) -> dict:
+        """Field name -> value (what ``vars()`` gave before ``slots``)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
     def snapshot(self) -> "FTLStats":
-        return FTLStats(**vars(self))
+        return FTLStats(**self.as_dict())
 
     def delta(self, earlier: "FTLStats") -> "FTLStats":
         """Field-wise difference ``self - earlier`` (for windowed measures)."""
         out = FTLStats()
-        for name, value in vars(self).items():
+        for name, value in self.as_dict().items():
             setattr(out, name, value - getattr(earlier, name))
         return out
 

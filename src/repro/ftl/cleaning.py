@@ -90,6 +90,9 @@ class Cleaner:
             int(config.critical_watermark * pages_per_element), reserve + 4
         )
         self._active = [False] * n
+        # hoisted config/FTL fields: maybe_clean probes once per host write
+        self._priority_aware = config.priority_aware
+        self._free = ftl._free
         #: paused mid-block continuations: e_idx -> (victim, pages, start)
         self._paused: dict[int, tuple] = {}
         #: blocks mid-clean (copied out, erase not yet complete), per element
@@ -143,9 +146,9 @@ class Cleaner:
             return
         if not force:
             threshold = self._low_pages
-            if self.config.priority_aware and self.ftl.priority_probe() > 0:
+            if self._priority_aware and self.ftl.priority_probe() > 0:
                 threshold = self._critical_pages
-            if self.ftl._free[e_idx] >= threshold:
+            if self._free[e_idx] >= threshold:
                 return
         victim = self.select_victim(e_idx)
         if victim < 0:

@@ -116,6 +116,8 @@ class PageMappedFTL(BaseFTL):
         self.wear_config = wear if wear is not None else WearConfig()
         self.cleaner = Cleaner(self, cleaning if cleaning is not None else CleaningConfig())
         self.wear_leveler = WearLeveler(self, self.wear_config)
+        #: prebound: the single-page write fast path probes it per write
+        self._maybe_clean = self.cleaner.maybe_clean
 
     # ------------------------------------------------------------------
     # address helpers
@@ -252,7 +254,7 @@ class PageMappedFTL(BaseFTL):
             mapv[slot] = new_block * ppb + new_page
             stats.flash_pages_programmed += 1
             stats.host_writes += 1
-            self.cleaner.maybe_clean(e_idx)
+            self._maybe_clean(e_idx)
             return
 
         join = self.acquire_join(done)

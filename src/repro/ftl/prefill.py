@@ -55,51 +55,74 @@ def prefill_pagemap(
             continue
         emap = ftl._maps[e_idx]
         pool = ftl._pool[e_idx]
-        if -(-n // ppb) > len(pool):
+        n_blocks = -(-n // ppb)
+        if n_blocks > len(pool):
             raise ValueError(
-                f"element {e_idx}: fill needs {-(-n // ppb)} blocks, pool has "
+                f"element {e_idx}: fill needs {n_blocks} blocks, pool has "
                 f"{len(pool)} (reduce fill_fraction)"
             )
-        filled = 0
-        while filled < n:
-            block = pool.pop_fifo()
-            take = min(ppb, n - filled)
-            el.page_state[block, :take] = PageState.VALID
-            el.reverse_lpn[block, :take] = np.arange(filled, filled + take)
-            el.valid_count[block] = take
-            el.write_ptr[block] = take
-            emap[filled : filled + take] = block * ppb + np.arange(take)
-            ftl._free[e_idx] -= take
-            if take < ppb:
-                ftl._frontier[e_idx]["hot"] = block
-            filled += take
+        # batch carve + bulk state writes: one numpy assignment per array
+        # instead of one per block (state identical to the seed's per-block
+        # loop — blocks leave the pool in the same FIFO order and map to
+        # the same consecutive slot runs)
+        blocks = np.asarray(pool.pop_fifo_many(n_blocks), dtype=np.int64)
+        tail = n % ppb
+        full = blocks if tail == 0 else blocks[:-1]
+        n_full_pages = len(full) * ppb
+        if len(full):
+            el.page_state[full, :] = PageState.VALID
+            el.reverse_lpn[full, :] = np.arange(n_full_pages).reshape(-1, ppb)
+            el.valid_count[full] = ppb
+            el.write_ptr[full] = ppb
+            emap[:n_full_pages] = (
+                full[:, None] * ppb + np.arange(ppb)
+            ).ravel()
+        if tail:
+            block = int(blocks[-1])
+            el.page_state[block, :tail] = PageState.VALID
+            el.reverse_lpn[block, :tail] = np.arange(n - tail, n)
+            el.valid_count[block] = tail
+            el.write_ptr[block] = tail
+            emap[n - tail : n] = block * ppb + np.arange(tail)
+            ftl._frontier[e_idx]["hot"] = block
+        ftl._free[e_idx] -= n
 
     if overwrite_fraction > 0.0 and count > 0:
         rng = rng if rng is not None else random.Random(0)
         rewrites = int(overwrite_fraction * count)
+        # steady-state floor: just above the cleaner's low watermark (where
+        # a live device hovers); loop-invariant, hoisted out of the rewrites
+        floor = max(
+            ftl.reserve_pages,
+            ftl.cleaner.low_watermark_pages + geom.pages_per_block,
+        )
+        randrange = rng.randrange
+        maps = ftl._maps
+        elements = ftl.elements
+        shards = ftl.shards
+        free_pages = ftl.free_pages
+        allocate_page = ftl.allocate_page
+        block_of, page_of, page_index = (
+            geom.block_of, geom.page_of, geom.page_index
+        )
         for _ in range(rewrites):
-            lpn = rng.randrange(count)
-            gang, slot = ftl._gang_slot(lpn)
-            for j in range(ftl.shards):
-                e_idx = gang * ftl.shards + j
-                el = ftl.elements[e_idx]
-                # hold the element at its steady-state level: just above the
-                # cleaner's low watermark (where a live device hovers)
-                floor = max(
-                    ftl.reserve_pages,
-                    ftl.cleaner.low_watermark_pages + ftl.geometry.pages_per_block,
-                )
-                while ftl.free_pages(e_idx) <= floor:
+            lpn = randrange(count)
+            gang = lpn % ftl.n_gangs
+            slot = lpn // ftl.n_gangs
+            for j in range(shards):
+                e_idx = gang * shards + j
+                el = elements[e_idx]
+                while free_pages(e_idx) <= floor:
                     if not _instant_clean(ftl, e_idx):
                         raise ValueError(
                             f"element {e_idx}: nothing reclaimable during "
                             "prefill (reduce fill_fraction)"
                         )
-                old = int(ftl._maps[e_idx][slot])
-                el.invalidate_state(geom.block_of(old), geom.page_of(old))
-                block, page = ftl.allocate_page(e_idx)
+                old = int(maps[e_idx][slot])
+                el.invalidate_state(block_of(old), page_of(old))
+                block, page = allocate_page(e_idx)
                 el.program_state(block, page, slot)
-                ftl._maps[e_idx][slot] = geom.page_index(block, page)
+                maps[e_idx][slot] = page_index(block, page)
     return count
 
 
@@ -138,16 +161,24 @@ def prefill_stripe_ftl(
     ppb = ftl.geometry.pages_per_block
     total = ftl.n_gangs * ftl.user_rows_per_gang
     count = int(fill_fraction * total)
-    for lbn in range(count):
-        gang, slot = ftl._gang_slot(lbn)
-        if ftl._maps[gang][slot] >= 0:
+    # one batch per gang instead of one pop + per-element slice per stripe:
+    # lbn order interleaves gangs, but each gang's pool only sees its own
+    # ascending-slot pops, so grouping by gang carves identical rows
+    for gang in range(ftl.n_gangs):
+        n_slots = len(range(gang, count, ftl.n_gangs))
+        if n_slots == 0:
             continue
-        row = ftl._pool[gang].pop_fifo()
-        ftl._maps[gang][slot] = row
+        gmap = ftl._maps[gang]
+        slots = np.nonzero(gmap[:n_slots] < 0)[0]
+        if len(slots) == 0:
+            continue
+        rows = np.asarray(ftl._pool[gang].pop_fifo_many(len(slots)),
+                          dtype=np.int64)
+        gmap[slots] = rows
         for j in range(ftl.shards):
             el = ftl.elements[gang * ftl.shards + j]
-            el.page_state[row, :] = PageState.VALID
-            el.reverse_lpn[row, :] = slot
-            el.valid_count[row] = ppb
-            el.write_ptr[row] = ppb
+            el.page_state[rows, :] = PageState.VALID
+            el.reverse_lpn[rows, :] = slots[:, None]
+            el.valid_count[rows] = ppb
+            el.write_ptr[rows] = ppb
     return count

@@ -126,6 +126,30 @@ class Simulator:
         self._alive += 1
         return event
 
+    def reschedule_at_front(self, event: Event, time_us: float) -> None:
+        """Re-arm a previously fired (or never armed) event on the front lane.
+
+        The front-lane counterpart of :meth:`reschedule`: the event draws a
+        fresh front-lane sequence number, so it outranks every normal event
+        at the same timestamp while keeping scheduling order among
+        front-lane users — exactly as if :meth:`schedule_at_front` had been
+        called, minus the per-occurrence Event allocation.  The streaming
+        trace feeder keeps one such event armed at the next record's
+        timestamp.  The caller must guarantee the event is not currently in
+        the heap.
+        """
+        if time_us < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time_us} before current time {self.now}"
+            )
+        seq = self._front_seq
+        self._front_seq = seq + 1
+        event.time = time_us
+        event.seq = seq
+        event.alive = True
+        heapq.heappush(self._heap, (time_us, seq, event))
+        self._alive += 1
+
     def reserve_seq(self) -> int:
         """Claim the next normal-lane sequence number without scheduling.
 

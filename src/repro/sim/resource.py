@@ -41,7 +41,8 @@ class SerialResource:
     """FIFO-ordered serial resource characterized by a bandwidth."""
 
     __slots__ = ("sim", "_bytes_per_us", "busy_until", "bytes_transferred",
-                 "busy_us", "_pending", "_event", "_armed")
+                 "busy_us", "_pending", "_event", "_armed", "_reserve_seq",
+                 "_push")
 
     def __init__(self, sim: Simulator, mb_per_s: float) -> None:
         if mb_per_s <= 0:
@@ -62,6 +63,9 @@ class SerialResource:
         self._event = Event(0.0, 0, self._deliver, ())
         self._event.alive = False
         self._armed = False
+        # prebound: transfer() runs once per host request
+        self._reserve_seq = sim.reserve_seq
+        self._push = self._pending.append
 
     def duration_us(self, nbytes: int) -> float:
         return nbytes / self._bytes_per_us
@@ -83,7 +87,7 @@ class SerialResource:
         # produced and which can differ from ``finish`` by one ULP —
         # preserved so clock stamps stay bit-identical to the seed.
         deliver_at = now + (finish - now)
-        self._pending.append((deliver_at, sim.reserve_seq(), then, finish))
+        self._push((deliver_at, self._reserve_seq(), then, finish))
         if not self._armed:
             self._arm_head()
         return finish

@@ -22,8 +22,13 @@ from __future__ import annotations
 
 import math
 import random
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
+
+#: bound once — the sketch/reservoir adds run once per replayed record
+_ceil = math.ceil
+_log = math.log
 
 __all__ = [
     "RunningStats",
@@ -188,7 +193,8 @@ class QuantileSketch:
         self._gamma = (1.0 + alpha) / (1.0 - alpha)
         self._log_gamma = math.log(self._gamma)
         self._floor = floor
-        self._buckets: Dict[int, int] = {}
+        # defaultdict: the add() hot path increments without a .get() call
+        self._buckets: Dict[int, int] = defaultdict(int)
         self.count = 0
         self.sum = 0.0
         self.min = math.inf
@@ -207,9 +213,7 @@ class QuantileSketch:
         if value < self._floor:
             self._zero_count += 1
             return
-        index = math.ceil(math.log(value / self._floor) / self._log_gamma)
-        buckets = self._buckets
-        buckets[index] = buckets.get(index, 0) + 1
+        self._buckets[_ceil(_log(value / self._floor) / self._log_gamma)] += 1
 
     @property
     def mean(self) -> float:
@@ -283,14 +287,23 @@ class QuantileSketch:
 
 
 class ReservoirSampler:
-    """Uniform fixed-size sample of a stream (Vitter's Algorithm R).
+    """Uniform fixed-size sample of a stream (geometric-skip Algorithm L).
 
     Deterministic per seed: replays of the same stream keep the same
     sample.  Used by :class:`StreamingLatencyRecorder` so a bounded-memory
     replay still leaves raw latencies to inspect or plot.
+
+    Li's Algorithm L draws the *gap* to the next accepted element instead
+    of rolling a die per element (Vitter's Algorithm R, the seed
+    implementation): once the reservoir is full, the expected number of
+    random draws is O(k · log(n/k)) for the whole stream, so the per-record
+    replay path pays one integer compare per sample instead of one
+    ``randrange``.  The sample distribution is exactly uniform, as with R;
+    the concrete sample for a given seed differs from R's, which nothing
+    pins — summaries come from the quantile sketch, not the reservoir.
     """
 
-    __slots__ = ("capacity", "seen", "_samples", "_rng")
+    __slots__ = ("capacity", "seen", "_samples", "_rng", "_w", "_next")
 
     def __init__(self, capacity: int = 1024, seed: int = 0x5EED) -> None:
         if capacity <= 0:
@@ -299,15 +312,42 @@ class ReservoirSampler:
         self.seen = 0
         self._samples: List[float] = []
         self._rng = random.Random(seed)
+        #: Algorithm L state: current acceptance weight and the 1-indexed
+        #: stream position of the next element to take
+        self._w = 1.0
+        self._next = 0
 
     def add(self, value: float) -> None:
-        self.seen += 1
-        if len(self._samples) < self.capacity:
-            self._samples.append(value)
-            return
-        slot = self._rng.randrange(self.seen)
-        if slot < self.capacity:
-            self._samples[slot] = value
+        seen = self.seen + 1
+        self.seen = seen
+        nxt = self._next
+        if nxt == 0:
+            # still filling (the gap is first drawn when the reservoir
+            # fills, so _next stays 0 until then)
+            samples = self._samples
+            samples.append(value)
+            if len(samples) == self.capacity:
+                self._draw_next_gap()
+        elif seen == nxt:
+            self._samples[self._rng.randrange(self.capacity)] = value
+            self._draw_next_gap()
+
+    def _draw_next_gap(self) -> None:
+        """Draw the geometric gap to the next accepted stream element.
+
+        ``1.0 - random()`` maps the rng's [0, 1) to (0, 1] so the logs are
+        finite; two draws per accepted element (weight decay + gap), per
+        Algorithm L."""
+        rng = self._rng
+        log = math.log
+        w = self._w * math.exp(log(1.0 - rng.random()) / self.capacity)
+        if w >= 1.0:
+            # measure-zero corner: random() returned exactly 0.0 while w
+            # was still 1.0; clamp just below 1 so log(1 - w) stays finite
+            w = math.nextafter(1.0, 0.0)
+        self._w = w
+        gap = int(log(1.0 - rng.random()) / log(1.0 - w))
+        self._next = self.seen + gap + 1
 
     @property
     def samples(self) -> List[float]:
@@ -325,16 +365,19 @@ class StreamingLatencyRecorder:
     which.
     """
 
-    __slots__ = ("sketch", "reservoir")
+    __slots__ = ("sketch", "reservoir", "_sketch_add", "_reservoir_add")
 
     def __init__(self, alpha: float = 0.01, reservoir_k: int = 1024,
                  seed: int = 0x5EED) -> None:
         self.sketch = QuantileSketch(alpha)
         self.reservoir = ReservoirSampler(reservoir_k, seed)
+        # prebound: record() runs once per replayed request
+        self._sketch_add = self.sketch.add
+        self._reservoir_add = self.reservoir.add
 
     def record(self, latency_us: float) -> None:
-        self.sketch.add(latency_us)
-        self.reservoir.add(latency_us)
+        self._sketch_add(latency_us)
+        self._reservoir_add(latency_us)
 
     @property
     def count(self) -> int:
@@ -358,16 +401,17 @@ class ClassAggregate:
     traffic class (≤ 8: four ops × two priority levels).
     """
 
-    __slots__ = ("bytes", "latencies")
+    __slots__ = ("bytes", "latencies", "_record")
 
     def __init__(self, alpha: float = 0.01, reservoir_k: int = 1024,
                  seed: int = 0x5EED) -> None:
         self.bytes = 0
         self.latencies = StreamingLatencyRecorder(alpha, reservoir_k, seed)
+        self._record = self.latencies.record
 
     def add(self, latency_us: float, nbytes: int) -> None:
         self.bytes += nbytes
-        self.latencies.record(latency_us)
+        self._record(latency_us)
 
     @property
     def count(self) -> int:

@@ -39,10 +39,14 @@ _TO_OPTYPE = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One operation: issue ``op`` on bytes [offset, offset+size) at
-    ``time_us`` with the given priority class (0 = background)."""
+    ``time_us`` with the given priority class (0 = background).
+
+    ``slots=True``: traces are produced at replay-path rates (one record
+    per simulated request), so the instance must stay dict-free and
+    compact."""
 
     time_us: float
     op: TraceOp

@@ -11,17 +11,37 @@ Streaming replay
 ----------------
 The seed ``replay_trace`` pre-scheduled one event per trace record, so a
 million-record trace put a million events in the heap before the first one
-ran.  The replay now *streams*: a bounded window of upcoming submissions is
-kept scheduled (default :data:`REPLAY_WINDOW`), and each fired submission
-feeds the next record from the iterator, so heap growth is O(window)
-regardless of trace length.  Submissions ride the simulator's front lane
-(:meth:`repro.sim.engine.Simulator.schedule_at_front`), which preserves the
-pre-scheduling semantics exactly: a trace arrival at time *t* always runs
-before any simulation-internal event at the same *t*, and arrivals keep
-record order among themselves.  The only requirement streaming adds is that
-record timestamps be sorted to within the window (every generator in
+ran.  The replay now *streams*: a bounded window of upcoming records
+(default :data:`REPLAY_WINDOW`) is held in a driver-local ``(time, feed
+order, record)`` heap, and exactly **one** reusable front-lane event stays
+armed at the head record's timestamp
+(:meth:`repro.sim.engine.Simulator.reschedule_at_front`).  Each firing
+submits every record due at that instant and re-arms at the new head; each
+submitted record pulls one replacement from the iterator (a fused
+``heapreplace``), so window occupancy — and total replay state — is
+O(window) regardless of trace length, and the simulator heap carries a
+single replay entry instead of thousands.
+
+Ordering is identical to pre-scheduling the whole trace: the front lane
+wins every same-timestamp tie against simulation-internal events, arrivals
+keep record order among themselves, and consecutive same-instant front-lane
+events admit nothing between them — which is what makes folding a
+same-timestamp group into one firing (and into one
+:meth:`repro.device.ssd.SSD.submit_batch` call, when the device has the
+batched front door) indistinguishable from the seed's one-event-per-record
+scheme, apart from ``events_run``.  The only requirement streaming adds is
+that record timestamps be sorted to within the window (every generator in
 :mod:`repro.traces` emits sorted traces); pass ``window=None`` to fall back
 to full pre-scheduling for pathological inputs.
+
+Requests themselves are slab-recycled: each replay (and each
+``ClosedLoopDriver``) owns an :class:`repro.device.interface.IORequestPool`
+and releases every request inside its completion callback, so steady-state
+replay allocates no request objects, no dispatch events, and no completion
+closures (the SSD hangs reusable adapters off the pooled request; see
+``SSD._arm_dispatch``).  The pool is scoped to the run on purpose: its
+slab retains those device-bound adapters, so a process-global pool would
+pin retired devices alive.
 
 Streaming results
 -----------------
@@ -42,15 +62,21 @@ identical either way — only what is retained about it changes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappush, heappop, heapreplace
+from itertools import islice
 from typing import (Callable, Dict, Iterable, List, Optional, Protocol,
                     Tuple, Union)
 
-from repro.device.interface import Completion, IORequest, OpType
-from repro.sim.engine import Simulator
+from repro.device.interface import (Completion, IORequest, IORequestPool,
+                                    OpType)
+from repro.sim.engine import Event, Simulator
 from repro.sim.stats import (ClassAggregate, LatencyRecorder, LatencySummary,
                              QuantileSketch)
 from repro.traces.record import TraceOp, TraceRecord
 from repro.units import mb_per_s
+
+#: TraceOp -> OpType, resolved once (the replay loop is per-record hot)
+_OP_OF = {trace_op: trace_op.to_op_type() for trace_op in TraceOp}
 
 __all__ = ["WorkloadResult", "ResultSink", "StreamingResult", "replay_trace",
            "ClosedLoopDriver", "REPLAY_WINDOW"]
@@ -144,18 +170,30 @@ class StreamingResult:
         self._reservoir_k = reservoir_k
         self._seed = seed
         self._classes: Dict[Tuple[OpType, bool], ClassAggregate] = {}
+        #: key -> (aggregate, sketch.add, reservoir.add): the record() hot
+        #: path calls the leaf adders directly instead of walking the
+        #: aggregate -> recorder -> sketch/reservoir attribute chain
+        self._fast: Dict[Tuple[OpType, bool], tuple] = {}
         self.elapsed_us = 0.0
 
     def record(self, request: IORequest) -> None:
         key = (request.op, request.priority > 0)
-        aggregate = self._classes.get(key)
-        if aggregate is None:
+        entry = self._fast.get(key)
+        if entry is None:
             class_seed = (self._seed * 31
                           + self._OP_ORDER[request.op] * 2 + key[1])
             aggregate = self._classes[key] = ClassAggregate(
                 self._alpha, self._reservoir_k, class_seed
             )
-        aggregate.add(request.complete_us - request.submit_us, request.size)
+            latencies = aggregate.latencies
+            entry = self._fast[key] = (
+                aggregate, latencies.sketch.add, latencies.reservoir.add
+            )
+        aggregate, sketch_add, reservoir_add = entry
+        latency = request.complete_us - request.submit_us
+        aggregate.bytes += request.size
+        sketch_add(latency)
+        reservoir_add(latency)
 
     # -- the WorkloadResult query API ------------------------------------
 
@@ -228,35 +266,47 @@ def replay_trace(
     O(1) as well.
     """
     result: Union[WorkloadResult, ResultSink]
+    # one pool per replay: recycling pays off *within* a run (thousands of
+    # residencies over ~window live requests), and scoping the slab here
+    # lets the device graph its retained adapters bind be collected with
+    # the run instead of being pinned by a process-global slab
+    pool = IORequestPool()
+    release = pool.release
     if sink is None:
         result = WorkloadResult()
         completions = result.completions
+        completion_of = Completion.of
 
         def on_complete(request: IORequest) -> None:
-            if request.op in (OpType.READ, OpType.WRITE) or collect_frees:
-                completions.append(Completion.of(request))
+            op = request.op
+            if op is OpType.READ or op is OpType.WRITE or collect_frees:
+                completions.append(completion_of(request))
+            release(request)
     else:
         result = sink
         sink_record = sink.record
 
         def on_complete(request: IORequest) -> None:
-            if request.op in (OpType.READ, OpType.WRITE) or collect_frees:
+            op = request.op
+            if op is OpType.READ or op is OpType.WRITE or collect_frees:
                 sink_record(request)
+            release(request)
 
     start = sim.now
+    acquire = pool.acquire
+    op_of = _OP_OF
 
-    def submit(record: TraceRecord) -> None:
-        device.submit(
-            IORequest(
-                record.op.to_op_type(),
-                record.offset,
-                record.size,
-                priority=record.priority,
-                on_complete=on_complete,
-            )
-        )
+    def build(record: TraceRecord) -> IORequest:
+        """One pooled request per record (the only construction site —
+        the per-record, batched, and pre-scheduled paths all go through
+        here, so they cannot drift apart)."""
+        return acquire(op_of[record.op], record.offset, record.size,
+                       record.priority, on_complete)
 
     if window is None:
+        def submit(record: TraceRecord) -> None:
+            device.submit(build(record))
+
         for record in records:
             sim.schedule_at_front(
                 start + record.time_us * time_scale, submit, record
@@ -264,27 +314,82 @@ def replay_trace(
     else:
         if window <= 0:
             raise ValueError(f"window must be positive or None, got {window}")
-        iterator = iter(records)
+        # Streaming core: the window of upcoming records lives in a local
+        # (time, feed-order, record) heap and ONE reusable front-lane event
+        # stays armed at the head record's timestamp.  Firing submits every
+        # record due at that instant — back-to-back front-lane events at one
+        # timestamp admit nothing between them, so folding the group into
+        # one firing preserves the exact pre-scheduling order — then re-arms
+        # at the new head.  The simulator heap holds O(1) replay entries
+        # instead of O(window), each record costs one local heap push/pop
+        # (cheap tuples, no Event allocation), and groups of same-instant
+        # records ride the device's batched front door when it has one.
+        def unsorted_error(at: float, now: float) -> ValueError:
+            return ValueError(
+                f"trace timestamps unsorted beyond the replay window "
+                f"({window}): record time {at} is before the clock "
+                f"{now}; sort the trace or pass window=None"
+            )
 
-        def feed_one() -> None:
-            record = next(iterator, None)
-            if record is None:
-                return
+        iterator = iter(records)
+        heap: List[tuple] = []
+        n = 0
+        for record in islice(iterator, window):
             at = start + record.time_us * time_scale
             if at < sim.now:
-                raise ValueError(
-                    f"trace timestamps unsorted beyond the replay window "
-                    f"({window}): record time {at} is before the clock "
-                    f"{sim.now}; sort the trace or pass window=None"
-                )
-            sim.schedule_at_front(at, submit_and_feed, record)
+                raise unsorted_error(at, sim.now)
+            heappush(heap, (at, n, record))
+            n += 1
+        device_submit = device.submit
+        submit_batch = getattr(device, "submit_batch", None)
+        feeder = Event(0.0, 0, None, ())
+        feeder.alive = False
+        rearm = sim.reschedule_at_front
 
-        def submit_and_feed(record: TraceRecord) -> None:
-            submit(record)
-            feed_one()
+        def fire(heappop=heappop, heapreplace=heapreplace) -> None:
+            nonlocal n
+            now = sim.now
+            batch: Optional[List[TraceRecord]] = None
+            # pop the due head with its refill fused in: heapreplace does
+            # one sift where pop-then-push would do two (one refill per
+            # popped record keeps the window full; record generators are
+            # pure, so pulling just before the pop is unobservable)
+            nxt = next(iterator, None)
+            if nxt is None:
+                record = heappop(heap)[2]
+            else:
+                at = start + nxt.time_us * time_scale
+                if at < now:
+                    raise unsorted_error(at, now)
+                record = heapreplace(heap, (at, n, nxt))[2]
+                n += 1
+            while heap and heap[0][0] <= now:
+                if batch is None:
+                    batch = [record]
+                nxt = next(iterator, None)
+                if nxt is None:
+                    batch.append(heappop(heap)[2])
+                else:
+                    at = start + nxt.time_us * time_scale
+                    if at < now:
+                        raise unsorted_error(at, now)
+                    batch.append(heapreplace(heap, (at, n, nxt))[2])
+                    n += 1
+            if batch is None:
+                device_submit(build(record))
+            else:
+                requests = [build(r) for r in batch]
+                if submit_batch is not None:
+                    submit_batch(requests)
+                else:
+                    for request in requests:
+                        device_submit(request)
+            if heap:
+                rearm(feeder, heap[0][0])
 
-        for _ in range(window):
-            feed_one()
+        feeder.fn = fire
+        if heap:
+            sim.reschedule_at_front(feeder, heap[0][0])
     sim.run_until_idle()
     result.elapsed_us = sim.now - start
     return result
@@ -318,28 +423,40 @@ class ClosedLoopDriver:
         self._issued = 0
         self._completed = 0
         self._start_us = 0.0
+        #: per-driver request slab (see replay_trace: scoping the pool to
+        #: the run keeps its retained adapters from pinning the device)
+        self._pool = IORequestPool()
 
     def run(self) -> WorkloadResult:
         self._start_us = self.sim.now
-        for _ in range(min(self.depth, self.count)):
-            self._issue()
+        burst = min(self.depth, self.count)
+        submit_batch = getattr(self.device, "submit_batch", None)
+        if submit_batch is not None and burst > 1:
+            # the depth-filling burst arrives at one instant: ride the
+            # batched front door (order-identical to sequential submits)
+            submit_batch(self._build() for _ in range(burst))
+        else:
+            for _ in range(burst):
+                self._issue()
         self.sim.run_until_idle()
         self.result.elapsed_us = self.sim.now - self._start_us
         return self.result
 
-    def _issue(self) -> None:
+    def _build(self) -> IORequest:
         spec = self.next_request(self._issued)
         self._issued += 1
         op, offset, size = spec[:3]
         priority = spec[3] if len(spec) > 3 else 0
-        self.device.submit(
-            IORequest(op, offset, size, priority=priority,
-                      on_complete=self._on_complete)
-        )
+        return self._pool.acquire(op, offset, size, priority,
+                                  self._on_complete)
+
+    def _issue(self) -> None:
+        self.device.submit(self._build())
 
     def _on_complete(self, request: IORequest) -> None:
         self._completed += 1
         self.result.completions.append(Completion.of(request))
+        self._pool.release(request)
         if self._issued < self.count:
             if self.think_time_us > 0:
                 self.sim.schedule(self.think_time_us, self._issue)

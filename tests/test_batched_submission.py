@@ -1,0 +1,376 @@
+"""The batched replay core: pooled requests, submit_batch, vectorized prefill.
+
+Pins the PR 5 tentpole contracts:
+
+1. **submit_batch equivalence** — replaying a trace through
+   ``SSD.submit_batch`` (the batched front door ``replay_trace`` uses for
+   same-instant record groups) is *bit-identical* to per-record
+   ``submit()``: same clock, same FTL stats, same completion stream,
+   including on a 100k-record trace with bursty duplicate timestamps.
+   ``events_run`` is deliberately not compared across submission modes —
+   grouped same-instant records ride one feeder event instead of several,
+   which is exactly the events-for-wall-time trade the batch makes; the
+   *simulated* behaviour (what the paper's tables read) must not move.
+2. **Streaming window equivalence** — the one-armed-event streaming core
+   orders submissions exactly like ``window=None`` full pre-scheduling,
+   including same-timestamp groups.
+3. **Request pool recycling** — acquire/release reuses instances and
+   resets the host-visible fields; a recycled request replays cleanly.
+4. **Vectorized prefill equivalence** — ``prefill_pagemap`` and
+   ``prefill_stripe_ftl`` leave state byte-identical to the seed's
+   per-block reference loops (kept verbatim below), including partial
+   tail blocks, overwrite scatter, and partially-mapped stripe maps.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.device.interface import (REQUEST_POOL, Completion, IORequest,
+                                    IORequestPool, OpType)
+from repro.device.ssd import SSD
+from repro.device.ssd_config import SSDConfig
+from repro.flash.element import FlashElement, PageState
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.ftl.blockmap import BlockMappedFTL
+from repro.ftl.hybrid import HybridLogBlockFTL
+from repro.ftl.pagemap import PageMappedFTL
+from repro.ftl.prefill import _instant_clean, prefill_pagemap, prefill_stripe_ftl
+from repro.sim.engine import Simulator
+from repro.traces.record import TraceOp, TraceRecord
+from repro.traces.synthetic import SyntheticConfig, iter_synthetic
+from repro.workloads.driver import replay_trace
+from tests.conftest import small_geometry
+
+KB4 = 4096
+
+
+# ---------------------------------------------------------------------------
+# 1 + 2: submission equivalence
+# ---------------------------------------------------------------------------
+
+class _SubmitOnly:
+    """Device adapter hiding ``submit_batch``: forces the per-record path."""
+
+    def __init__(self, device):
+        self._device = device
+
+    @property
+    def capacity_bytes(self):
+        return self._device.capacity_bytes
+
+    def submit(self, request):
+        self._device.submit(request)
+
+
+def _bursty_records(count, capacity, seed=11):
+    """A sorted trace with heavy timestamp ties (bursts of arrivals), so
+    the batched front door genuinely batches."""
+    config = SyntheticConfig(
+        count=count,
+        region_bytes=int(capacity * 0.6),
+        request_bytes=KB4,
+        read_fraction=0.5,
+        seq_probability=0.2,
+        interarrival_max_us=40.0,
+        priority_fraction=0.1,
+        seed=seed,
+    )
+    for record in iter_synthetic(config):
+        # quantize onto a 200 us grid: ~5 records share each instant
+        yield TraceRecord(record.time_us // 200.0 * 200.0, record.op,
+                          record.offset, record.size, record.priority)
+
+
+class TestSubmitBatchEquivalence:
+    COUNT = 100_000
+
+    def _run(self, per_record: bool):
+        sim = Simulator()
+        ssd = SSD(sim, SSDConfig(
+            n_elements=4,
+            geometry=FlashGeometry(page_bytes=KB4, pages_per_block=64,
+                                   blocks_per_element=512),
+            scheduler="swtf",
+            max_inflight=16,
+            controller_overhead_us=5.0,
+        ))
+        device = _SubmitOnly(ssd) if per_record else ssd
+        result = replay_trace(
+            sim, device, _bursty_records(self.COUNT, ssd.capacity_bytes)
+        )
+        ssd.ftl.check_consistency()
+        return result, sim, ssd
+
+    def test_batched_replay_bit_identical_to_per_record_submit(self):
+        batched, sim_b, ssd_b = self._run(per_record=False)
+        reference, sim_r, ssd_r = self._run(per_record=True)
+        assert sim_b.now == sim_r.now
+        assert ssd_b.ftl.stats.as_dict() == ssd_r.ftl.stats.as_dict()
+        assert batched.count == reference.count == self.COUNT
+        # the full completion stream — op, offsets, and both clock stamps
+        # of every record — must match exactly
+        assert batched.completions == reference.completions
+        for op in (None, OpType.READ, OpType.WRITE):
+            assert batched.latency(op=op) == reference.latency(op=op)
+            assert batched.bandwidth_mb_s(op) == reference.bandwidth_mb_s(op)
+
+
+class TestStreamingWindowEquivalence:
+    def _run(self, window):
+        sim = Simulator()
+        ssd = SSD(sim, SSDConfig(n_elements=4, geometry=small_geometry(),
+                                 scheduler="swtf", max_inflight=8,
+                                 controller_overhead_us=5.0))
+        records = list(_bursty_records(5000, ssd.capacity_bytes, seed=3))
+        result = replay_trace(sim, ssd, records, window=window)
+        return result, sim, ssd
+
+    @pytest.mark.parametrize("window", [1, 7, 4096])
+    def test_windowed_matches_full_prescheduling(self, window):
+        streamed, sim_s, ssd_s = self._run(window)
+        listed, sim_l, ssd_l = self._run(None)
+        assert sim_s.now == sim_l.now
+        assert streamed.completions == listed.completions
+        assert ssd_s.ftl.stats.as_dict() == ssd_l.ftl.stats.as_dict()
+
+    def test_unsorted_beyond_window_raises(self):
+        sim = Simulator()
+        ssd = SSD(sim, SSDConfig(n_elements=2, geometry=small_geometry()))
+        base = [(r.op, r.offset, r.size) for r in
+                _bursty_records(4, ssd.capacity_bytes)]
+        # sorted within the window of 2, but the last record's timestamp
+        # lies far behind the clock by the time it is pulled
+        times = [0.0, 500.0, 1000.0, 0.1]
+        records = [TraceRecord(t, *rest) for t, rest in zip(times, base)]
+        with pytest.raises(ValueError, match="unsorted"):
+            replay_trace(sim, ssd, records, window=2)
+
+    def test_unsorted_inside_first_window_raises_valueerror(self):
+        """The initial window fill keeps the documented error contract: a
+        record landing before the clock raises the actionable ValueError,
+        not a raw scheduling error (a negative time_scale is the one way
+        to construct this, since TraceRecord forbids negative times)."""
+        sim = Simulator()
+        ssd = SSD(sim, SSDConfig(n_elements=2, geometry=small_geometry()))
+        records = [TraceRecord(100.0 * (i + 1), TraceOp.WRITE, i * KB4, KB4)
+                   for i in range(8)]
+        with pytest.raises(ValueError, match="unsorted"):
+            replay_trace(sim, ssd, records, time_scale=-1.0, window=4)
+
+
+# ---------------------------------------------------------------------------
+# 3: the request pool
+# ---------------------------------------------------------------------------
+
+class TestRequestPool:
+    def test_acquire_recycles_released_instances(self):
+        pool = IORequestPool()
+        first = pool.acquire(OpType.WRITE, 0, KB4, 1, None)
+        pool.release(first)
+        second = pool.acquire(OpType.READ, KB4, 2 * KB4)
+        assert second is first
+        assert second.op is OpType.READ
+        assert second.offset == KB4 and second.size == 2 * KB4
+        assert second.priority == 0
+        assert second.on_complete is None
+        assert second.submit_us == -1.0 and second.complete_us == -1.0
+
+    def test_release_drops_callback_references(self):
+        pool = IORequestPool()
+        request = pool.acquire(OpType.WRITE, 0, KB4,
+                               on_complete=lambda r: None,
+                               tag="t", hints={"temp": "cold"})
+        pool.release(request)
+        assert request.on_complete is None
+        assert request.tag is None and request.hints is None
+        assert len(pool) == 1
+
+    def test_replay_pool_does_not_pin_device(self):
+        """The replay's request slab retains device-bound adapters; the
+        pool is scoped to the run so a finished replay's device graph is
+        collectable (a process-global slab would pin it forever)."""
+        import gc
+        import weakref
+
+        sim = Simulator()
+        ssd = SSD(sim, SSDConfig(n_elements=2, geometry=small_geometry()))
+        device_ref = weakref.ref(ssd)
+        sim_ref = weakref.ref(sim)
+        replay_trace(sim, ssd,
+                     list(_bursty_records(200, ssd.capacity_bytes)))
+        del ssd, sim
+        gc.collect()
+        assert device_ref() is None
+        assert sim_ref() is None
+
+    def test_recycled_request_resubmits_cleanly(self, sim):
+        ssd = SSD(sim, SSDConfig(n_elements=2, geometry=small_geometry()))
+        done = []
+        request = REQUEST_POOL.acquire(OpType.WRITE, 0, KB4,
+                                       on_complete=done.append)
+        ssd.submit(request)
+        sim.run_until_idle()
+        assert done == [request]
+        first_completion = Completion.of(request)
+        REQUEST_POOL.release(request)
+        again = REQUEST_POOL.acquire(OpType.WRITE, 0, KB4,
+                                     on_complete=done.append)
+        assert again is request
+        ssd.submit(again)
+        sim.run_until_idle()
+        assert len(done) == 2
+        assert Completion.of(again).response_us == first_completion.response_us
+
+
+# ---------------------------------------------------------------------------
+# 4: vectorized prefill vs the seed's per-block reference loops
+# ---------------------------------------------------------------------------
+
+def _reference_prefill_pagemap(ftl, fill_fraction, overwrite_fraction=0.0,
+                               rng=None):
+    """The seed's per-block implementation, kept verbatim as the oracle."""
+    geom = ftl.geometry
+    ppb = geom.pages_per_block
+    count = int(fill_fraction * ftl.user_logical_pages)
+    for e_idx, el in enumerate(ftl.elements):
+        gang = e_idx // ftl.shards
+        n = len(range(gang, count, ftl.n_gangs))
+        if n == 0:
+            continue
+        emap = ftl._maps[e_idx]
+        pool = ftl._pool[e_idx]
+        filled = 0
+        while filled < n:
+            block = pool.pop_fifo()
+            take = min(ppb, n - filled)
+            el.page_state[block, :take] = PageState.VALID
+            el.reverse_lpn[block, :take] = np.arange(filled, filled + take)
+            el.valid_count[block] = take
+            el.write_ptr[block] = take
+            emap[filled:filled + take] = block * ppb + np.arange(take)
+            ftl._free[e_idx] -= take
+            if take < ppb:
+                ftl._frontier[e_idx]["hot"] = block
+            filled += take
+    if overwrite_fraction > 0.0 and count > 0:
+        rng = rng if rng is not None else random.Random(0)
+        rewrites = int(overwrite_fraction * count)
+        for _ in range(rewrites):
+            lpn = rng.randrange(count)
+            gang, slot = ftl._gang_slot(lpn)
+            for j in range(ftl.shards):
+                e_idx = gang * ftl.shards + j
+                el = ftl.elements[e_idx]
+                floor = max(
+                    ftl.reserve_pages,
+                    ftl.cleaner.low_watermark_pages + geom.pages_per_block,
+                )
+                while ftl.free_pages(e_idx) <= floor:
+                    assert _instant_clean(ftl, e_idx)
+                old = int(ftl._maps[e_idx][slot])
+                el.invalidate_state(geom.block_of(old), geom.page_of(old))
+                block, page = ftl.allocate_page(e_idx)
+                el.program_state(block, page, slot)
+                ftl._maps[e_idx][slot] = geom.page_index(block, page)
+    return count
+
+
+def _reference_prefill_stripe(ftl, fill_fraction):
+    """The seed's per-stripe implementation, kept verbatim as the oracle."""
+    ppb = ftl.geometry.pages_per_block
+    total = ftl.n_gangs * ftl.user_rows_per_gang
+    count = int(fill_fraction * total)
+    for lbn in range(count):
+        gang, slot = ftl._gang_slot(lbn)
+        if ftl._maps[gang][slot] >= 0:
+            continue
+        row = ftl._pool[gang].pop_fifo()
+        ftl._maps[gang][slot] = row
+        for j in range(ftl.shards):
+            el = ftl.elements[gang * ftl.shards + j]
+            el.page_state[row, :] = PageState.VALID
+            el.reverse_lpn[row, :] = slot
+            el.valid_count[row] = ppb
+            el.write_ptr[row] = ppb
+    return count
+
+
+def _pagemap(lp=None, blocks=64, pages=16):
+    sim = Simulator()
+    geom = FlashGeometry(page_bytes=KB4, pages_per_block=pages,
+                         blocks_per_element=blocks)
+    elements = [FlashElement(sim, geom, FlashTiming.slc(), element_id=i)
+                for i in range(4)]
+    return PageMappedFTL(sim, elements, logical_page_bytes=lp,
+                         spare_fraction=0.15)
+
+
+def _stripe(kind):
+    sim = Simulator()
+    geom = FlashGeometry(page_bytes=KB4, pages_per_block=8,
+                         blocks_per_element=48)
+    elements = [FlashElement(sim, geom, FlashTiming.slc(), element_id=i)
+                for i in range(4)]
+    if kind == "blockmap":
+        return BlockMappedFTL(sim, elements, gang_size=2, spare_fraction=0.25)
+    return HybridLogBlockFTL(sim, elements, gang_size=2, spare_fraction=0.25,
+                             max_log_rows=3)
+
+
+def _assert_same_state(a, b):
+    for el_a, el_b in zip(a.elements, b.elements):
+        assert (el_a.page_state == el_b.page_state).all()
+        assert (el_a.reverse_lpn == el_b.reverse_lpn).all()
+        assert (el_a.valid_count == el_b.valid_count).all()
+        assert (el_a.write_ptr == el_b.write_ptr).all()
+        assert (el_a.erase_count == el_b.erase_count).all()
+    for map_a, map_b in zip(a._maps, b._maps):
+        assert (map_a == map_b).all()
+    for pool_a, pool_b in zip(a._pool, b._pool):
+        assert list(pool_a) == list(pool_b)
+
+
+class TestPrefillVectorizationEquivalence:
+    @pytest.mark.parametrize("lp,fill,overwrite", [
+        (None, 0.9, 0.0),
+        (None, 0.37, 0.0),   # partial tail block
+        (None, 0.9, 0.4),    # overwrite scatter + instant cleans
+        (8192, 0.9, 0.3),    # striped logical pages (shards=2)
+    ])
+    def test_pagemap_matches_reference(self, lp, fill, overwrite):
+        vectorized, reference = _pagemap(lp), _pagemap(lp)
+        n_v = prefill_pagemap(vectorized, fill, overwrite_fraction=overwrite,
+                              rng=random.Random(5))
+        n_r = _reference_prefill_pagemap(reference, fill,
+                                         overwrite_fraction=overwrite,
+                                         rng=random.Random(5))
+        assert n_v == n_r
+        assert vectorized._free == reference._free
+        assert vectorized._frontier == reference._frontier
+        _assert_same_state(vectorized, reference)
+        vectorized.check_consistency()
+
+    @pytest.mark.parametrize("kind", ["blockmap", "hybrid"])
+    def test_stripe_matches_reference(self, kind):
+        vectorized, reference = _stripe(kind), _stripe(kind)
+        assert prefill_stripe_ftl(vectorized, 0.9) == \
+            _reference_prefill_stripe(reference, 0.9)
+        _assert_same_state(vectorized, reference)
+        vectorized.check_consistency()
+
+    @pytest.mark.parametrize("kind", ["blockmap", "hybrid"])
+    def test_stripe_partially_mapped_resume(self, kind):
+        """The vectorized mask path: continuing a partially-mapped fill
+        carves only the still-unmapped slots, like the seed's skip."""
+        vectorized, reference = _stripe(kind), _stripe(kind)
+        prefill_stripe_ftl(vectorized, 0.3)
+        prefill_stripe_ftl(reference, 0.3)
+        assert prefill_stripe_ftl(vectorized, 0.9) == \
+            _reference_prefill_stripe(reference, 0.9)
+        _assert_same_state(vectorized, reference)
+        vectorized.check_consistency()

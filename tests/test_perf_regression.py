@@ -129,7 +129,7 @@ GOLDEN_WEAR: dict = {
 
 
 def _observables(sim: Simulator, ssd: SSD) -> dict:
-    stats = vars(ssd.ftl.stats.snapshot()).copy()
+    stats = ssd.ftl.stats.as_dict()
     stats["clean_time_us"] = round(stats["clean_time_us"], 6)
     busy = {
         tag: round(sum(el.busy_us(tag) for el in ssd.ftl.elements), 4)

@@ -202,7 +202,7 @@ class TestStreamingResultSink:
         listed, sim_l, dev_l = self._replay(None)
         assert sim_s.now == sim_l.now
         assert sim_s.events_run == sim_l.events_run
-        assert vars(dev_s.ftl.stats.snapshot()) == vars(dev_l.ftl.stats.snapshot())
+        assert dev_s.ftl.stats.as_dict() == dev_l.ftl.stats.as_dict()
         assert streaming.elapsed_us == listed.elapsed_us
         assert streaming.count == listed.count
 
@@ -306,7 +306,7 @@ class TestReplayAtScaleCrossCheck:
         # the simulation itself is bit-identical
         assert sim_s.now == sim_l.now
         assert sim_s.events_run == sim_l.events_run
-        assert vars(dev_s.ftl.stats.snapshot()) == vars(dev_l.ftl.stats.snapshot())
+        assert dev_s.ftl.stats.as_dict() == dev_l.ftl.stats.as_dict()
         assert water_s.max_queued == water_l.max_queued
         # device kept up: bounded queue, so replay memory is O(window)
         assert water_s.max_queued < 2000

@@ -1,4 +1,22 @@
-"""Tests for the write-buffer family (passthrough / aligning / write-back)."""
+"""Tests for the write-buffer family (passthrough / merging / aligning).
+
+Besides the behavioural coverage of each buffer, this module pins the
+PR 5 write-buffer bugfixes, each with a dedicated regression test:
+
+* ``QueueMergingBuffer`` forwards the ``temp`` hot/cold hint per merged
+  run (majority vote; the seed dropped the hint entirely)
+  — ``TestQueueMergeTemp``.
+* ``PassthroughBuffer.flush_all`` completes only when issued writes have
+  drained out of the FTL (the seed acked a barrier at +0 µs with data
+  still on the flash queues) — ``TestPassthroughFlushDrain``.
+* The queue-merge steal window chases the union range *downward* too: a
+  co-queued write overlapping the window from below is stolen and merged
+  (the seed's steal predicate only matched writes starting inside the
+  window) — ``TestQueueMergeStealWindow``.
+
+Plus golden-pinned coverage of the incremental sorted-run merge structure
+(overlap, adjacency, MAX_BATCH truncation) — ``TestQueueMergeRuns``.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +25,7 @@ import pytest
 from repro.device.interface import IORequest, OpType
 from repro.device.ssd import SSD
 from repro.device.ssd_config import SSDConfig
-from repro.device.write_buffer import AligningWriteBuffer
+from repro.device.write_buffer import AligningWriteBuffer, QueueMergingBuffer
 from repro.sim.engine import Simulator
 from repro.units import KIB
 from tests.conftest import run_io, small_geometry
@@ -119,6 +137,247 @@ class TestWriteBackAck:
         run_io(sim, ssd, OpType.WRITE, 0, 4 * KIB)
         # the 4 KB partial flush still programs the whole 16 KB logical page
         assert ssd.ftl.stats.flash_pages_programmed == 4
+
+
+def merging_ssd(sim, **overrides):
+    config = SSDConfig(
+        n_elements=4,
+        geometry=small_geometry(),
+        write_buffer="queue-merge",
+        buffer_page_bytes=16 * KIB,
+        max_inflight=1,
+        controller_overhead_us=5.0,
+        **overrides,
+    )
+    return SSD(sim, config)
+
+
+def co_queue_writes(ssd, ranges, hints=None, done=None):
+    """Submit one write per (offset, size); max_inflight=1 keeps all but
+    the first queued, so the first dispatch steals the rest."""
+    for i, (offset, size) in enumerate(ranges):
+        ssd.submit(IORequest(
+            OpType.WRITE, offset, size,
+            hints=None if hints is None else hints[i],
+            on_complete=done.append if done is not None else None,
+        ))
+
+
+class _RunLog:
+    """Wraps ftl.write to record every issued (offset, size, temp) run."""
+
+    def __init__(self, ftl):
+        self.runs = []
+        self._write = ftl.write
+        ftl.write = self
+
+    def __call__(self, offset, size, done=None, tag="host", temp="hot"):
+        self.runs.append((offset, size, temp))
+        self._write(offset, size, done=done, tag=tag, temp=temp)
+
+
+class TestPassthroughFlushDrain:
+    """Bugfix: flush_all must not ack while writes sit in the FTL."""
+
+    def test_flush_all_waits_for_ftl_drain(self):
+        sim = Simulator()
+        ssd = SSD(sim, SSDConfig(n_elements=2, geometry=small_geometry()))
+        buffer = ssd.write_buffer
+        write_done = []
+        buffer.insert(IORequest(OpType.WRITE, 0, 4 * KIB),
+                      complete=lambda r: write_done.append(sim.now))
+        flushed = []
+        buffer.flush_all(lambda: flushed.append(sim.now))
+        # the write is in flight inside the FTL: the barrier must hold
+        assert sim.pending > 0
+        sim.run_until_idle()
+        assert write_done and flushed
+        # seed behaviour: flushed at +0 us, before the program completed
+        assert flushed[0] >= write_done[0] > 0.0
+
+    def test_flush_all_immediate_when_idle(self):
+        sim = Simulator()
+        ssd = SSD(sim, SSDConfig(n_elements=2, geometry=small_geometry()))
+        flushed = []
+        ssd.write_buffer.flush_all(lambda: flushed.append(sim.now))
+        assert not flushed  # still asynchronous (no reentrant callbacks)
+        sim.run_until_idle()
+        assert flushed == [0.0]
+
+    def test_merging_buffer_flush_waits_for_runs(self):
+        sim = Simulator()
+        ssd = merging_ssd(sim)
+        buffer = ssd.write_buffer
+        write_done = []
+        buffer.insert(IORequest(OpType.WRITE, 0, 4 * KIB),
+                      complete=lambda r: write_done.append(sim.now))
+        flushed = []
+        buffer.flush_all(lambda: flushed.append(sim.now))
+        sim.run_until_idle()
+        assert flushed and write_done
+        assert flushed[0] >= write_done[0] > 0.0
+
+
+class TestQueueMergeTemp:
+    """Bugfix: merged runs carry the majority temperature hint."""
+
+    def _worn_blocks(self, ssd):
+        """Mark one pooled block per element as clearly most-worn."""
+        worn = {}
+        for e_idx, el in enumerate(ssd.ftl.elements):
+            block = 7 + e_idx  # arbitrary, inside every pool
+            el.erase_count[block] = 50
+            worn[e_idx] = block
+        ssd.ftl.note_wear_changed()
+        return worn
+
+    def test_cold_hinted_batch_lands_on_worn_blocks(self):
+        sim = Simulator()
+        ssd = merging_ssd(sim)
+        worn = self._worn_blocks(ssd)
+        cold = {"temp": "cold"}
+        done = []
+        co_queue_writes(ssd, [(i * 4 * KIB, 4 * KIB) for i in range(4)],
+                        hints=[cold] * 4, done=done)
+        sim.run_until_idle()
+        assert len(done) == 4
+        assert ssd.write_buffer.merged_requests == 3
+        geometry = ssd.ftl.geometry
+        for lpn in range(4):
+            e_idx = lpn % ssd.ftl.n_gangs
+            ppn = ssd.ftl.mapped_ppn(lpn)
+            assert geometry.block_of(ppn) == worn[e_idx], (
+                f"lpn {lpn}: cold-hinted merged write was not parked on the "
+                f"most-worn block (temp hint dropped by the merge path?)"
+            )
+
+    def test_majority_vote_ties_go_hot(self):
+        sim = Simulator()
+        ssd = merging_ssd(sim)
+        worn = self._worn_blocks(ssd)
+        cold = {"temp": "cold"}
+        log = _RunLog(ssd.ftl)
+        # 2 cold / 2 hot in one run: tie -> hot (conservative default)
+        co_queue_writes(ssd, [(i * 4 * KIB, 4 * KIB) for i in range(4)],
+                        hints=[cold, None, cold, None])
+        sim.run_until_idle()
+        assert log.runs == [(0, 16 * KIB, "hot")]
+        geometry = ssd.ftl.geometry
+        assert geometry.block_of(ssd.ftl.mapped_ppn(0)) != worn[0]
+
+    def test_cold_majority_wins(self):
+        sim = Simulator()
+        ssd = merging_ssd(sim)
+        cold = {"temp": "cold"}
+        log = _RunLog(ssd.ftl)
+        co_queue_writes(ssd, [(i * 4 * KIB, 4 * KIB) for i in range(3)],
+                        hints=[cold, None, cold])
+        sim.run_until_idle()
+        assert log.runs == [(0, 12 * KIB, "cold")]
+
+
+class TestQueueMergeStealWindow:
+    """Bugfix: the steal window chases the union range downward too."""
+
+    def test_write_overlapping_from_below_is_stolen(self):
+        sim = Simulator()
+        ssd = merging_ssd(sim)
+        done = []
+        # first submission dispatches with window [16K, 32K); the second
+        # starts below the window but overlaps it
+        co_queue_writes(ssd, [(16 * KIB, 4 * KIB), (12 * KIB, 6 * KIB)],
+                        done=done)
+        sim.run_until_idle()
+        assert len(done) == 2
+        assert ssd.write_buffer.batches == 1
+        assert ssd.write_buffer.merged_requests == 1
+
+    def test_lowered_window_chases_further_down(self):
+        sim = Simulator()
+        ssd = merging_ssd(sim)
+        log = _RunLog(ssd.ftl)
+        done = []
+        # chain: [32K..36K) dispatches; [28K..34K) overlaps from below,
+        # lowering the window to 16K; [16K..30K) then overlaps it too
+        co_queue_writes(
+            ssd,
+            [(32 * KIB, 4 * KIB), (28 * KIB, 6 * KIB), (16 * KIB, 14 * KIB)],
+            done=done,
+        )
+        sim.run_until_idle()
+        assert len(done) == 3
+        assert ssd.write_buffer.batches == 1
+        assert ssd.write_buffer.merged_requests == 2
+        assert log.runs == [(16 * KIB, 20 * KIB, "hot")]
+
+    def test_disjoint_write_below_window_is_not_stolen(self):
+        sim = Simulator()
+        ssd = merging_ssd(sim)
+        done = []
+        co_queue_writes(ssd, [(32 * KIB, 4 * KIB), (4 * KIB, 4 * KIB)],
+                        done=done)
+        sim.run_until_idle()
+        assert len(done) == 2
+        assert ssd.write_buffer.merged_requests == 0
+        assert ssd.write_buffer.batches == 2
+
+
+class TestQueueMergeRuns:
+    """Golden-pinned coverage of the incremental sorted-run merge."""
+
+    def test_overlapping_ranges_fold_into_one_run(self):
+        sim = Simulator()
+        ssd = merging_ssd(sim)
+        log = _RunLog(ssd.ftl)
+        co_queue_writes(ssd, [(0, 8 * KIB), (4 * KIB, 8 * KIB),
+                              (2 * KIB, 4 * KIB)])
+        sim.run_until_idle()
+        assert log.runs == [(0, 12 * KIB, "hot")]
+        assert ssd.write_buffer.merged_requests == 2
+
+    def test_adjacent_ranges_fold_into_one_run(self):
+        sim = Simulator()
+        ssd = merging_ssd(sim)
+        log = _RunLog(ssd.ftl)
+        co_queue_writes(ssd, [(0, 4 * KIB), (4 * KIB, 4 * KIB),
+                              (8 * KIB, 4 * KIB)])
+        sim.run_until_idle()
+        assert log.runs == [(0, 12 * KIB, "hot")]
+
+    def test_disjoint_ranges_stay_separate_runs(self):
+        sim = Simulator()
+        ssd = merging_ssd(sim)
+        log = _RunLog(ssd.ftl)
+        co_queue_writes(ssd, [(0, 4 * KIB), (8 * KIB, 4 * KIB)])
+        sim.run_until_idle()
+        # same stripe, a hole between them: two runs, ascending order
+        assert log.runs == [(0, 4 * KIB, "hot"), (8 * KIB, 4 * KIB, "hot")]
+        assert ssd.write_buffer.batches == 1
+
+    def test_out_of_order_arrivals_merge_identically(self):
+        sim = Simulator()
+        ssd = merging_ssd(sim)
+        log = _RunLog(ssd.ftl)
+        co_queue_writes(ssd, [(8 * KIB, 4 * KIB), (0, 4 * KIB),
+                              (4 * KIB, 4 * KIB), (12 * KIB, 4 * KIB)])
+        sim.run_until_idle()
+        # interval union is order-independent: one contiguous run
+        assert log.runs == [(0, 16 * KIB, "hot")]
+
+    def test_max_batch_truncation_is_exact(self, monkeypatch):
+        sim = Simulator()
+        ssd = merging_ssd(sim)
+        monkeypatch.setattr(QueueMergingBuffer, "MAX_BATCH", 4)
+        done = []
+        co_queue_writes(ssd, [(i * 4 * KIB % (16 * KIB), 4 * KIB)
+                              for i in range(7)], done=done)
+        sim.run_until_idle()
+        assert len(done) == 7
+        buffer = ssd.write_buffer
+        # first batch absorbs exactly MAX_BATCH (1 dispatched + 3 stolen),
+        # the remaining 3 form the second batch
+        assert buffer.batches == 2
+        assert buffer.merged_requests == (4 - 1) + (3 - 1)
 
 
 class TestValidation:
