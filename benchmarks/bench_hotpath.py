@@ -25,6 +25,17 @@ plus two full-device scenarios through the host-queue dispatch path:
   10M-record replay (its one-off measurement lives in ``BENCH_CORE.json``
   meta, like the pre-refactor SWTF wall time).
 
+plus one robustness scenario through the same host path:
+
+* ``fault_soak``      — a seeded :class:`FaultModel` device (program,
+  erase, and transient-read faults enabled) soaked with write-heavy
+  churn until grown bad blocks eat into the spare pool.  The
+  fingerprint pins the exact injected-fault counts, block retirements,
+  rescued/lost pages, host retries, and error completions, so the whole
+  failure-handling path — burn, rescue, retire, degrade — is gated
+  bit-for-bit alongside the performance scenarios.  Faults stay off in
+  every other scenario; their fingerprints do not move.
+
 plus one setup-path scenario:
 
 * ``prefill``         — steady-state device aging
@@ -68,6 +79,7 @@ if str(_ROOT / "src") not in sys.path:  # standalone `python benchmarks/...` run
 
 from repro.device.presets import s4slc_sim
 from repro.flash.element import FlashElement
+from repro.flash.faults import FaultConfig
 from repro.flash.geometry import FlashGeometry
 from repro.flash.timing import FlashTiming
 from repro.ftl.blockmap import BlockMappedFTL
@@ -87,6 +99,7 @@ _BASE_OPS = {
     "cleaning_heavy": 12_000,
     "swtf_saturated": 8_000,
     "replay_10m": 100_000,
+    "fault_soak": 20_000,
     #: blocks per element for the prefill scenario (sizes the aged device)
     "prefill": 1_024,
 }
@@ -295,6 +308,64 @@ def _scenario_replay_10m(scale: float):
     return sim, device.ftl, runner
 
 
+class _FaultSoakReplay(_SinkReplay):
+    """``fault_soak`` runner: open-loop replay plus the fault-path
+    counters in the fingerprint (injected faults, retirements, rescues,
+    host retries, error completions)."""
+
+    def extra_fingerprint(self) -> Dict[str, int]:
+        device = self.device
+        stats = device.ftl.stats
+        models = [el.fault_model for el in device.elements]
+        return {
+            "fault_program_failures": sum(m.program_failures for m in models),
+            "fault_erase_failures": sum(m.erase_failures for m in models),
+            "fault_read_transients": sum(m.read_transients for m in models),
+            "blocks_retired": stats.blocks_retired,
+            "rescued_pages": stats.rescued_pages,
+            "failed_pages": stats.failed_pages,
+            "read_retries": sum(el.read_retries for el in device.elements),
+            "write_retries": device.stats.write_retries,
+            "requests_failed": device.stats.requests_failed,
+            "error_completions": sum(self.sink.errors.values()),
+        }
+
+
+def _scenario_fault_soak(scale: float):
+    """Write-heavy churn against a fault-injecting pagemap device (see
+    module docstring): seeded program/erase/read faults, host retries
+    enabled, spares sized so sustained retirements visibly shrink the
+    free pool (and, at full scale, push toward read-only degradation)."""
+    count = max(1000, int(_BASE_OPS["fault_soak"] * scale))
+    sim = Simulator()
+    device = s4slc_sim(
+        sim, element_mb=8, max_inflight=8,
+        spare_fraction=0.12,
+        faults=FaultConfig(
+            enabled=True,
+            seed=2009,
+            program_fail_prob=0.004,
+            erase_fail_base_prob=0.002,
+            erase_wear_scale=1e-4,
+            read_transient_prob=0.01,
+        ),
+        host_retry_limit=2,
+        host_retry_backoff_us=50.0,
+    )
+    prefill_pagemap(device.ftl, 0.70, overwrite_fraction=0.10)
+    trace = generate_synthetic(SyntheticConfig(
+        count=count,
+        region_bytes=int(device.capacity_bytes * 0.8),
+        request_bytes=4096,
+        read_fraction=0.35,
+        seq_probability=0.1,
+        interarrival_max_us=150.0,
+        seed=2009,
+    ))
+    runner = _FaultSoakReplay(sim, device, lambda: iter(trace), count)
+    return sim, device.ftl, runner
+
+
 def _state_crc(ftl, crc: int = 0) -> int:
     """CRC32 over the FTL's full logical/physical state (maps, page states,
     write pointers, erase counts).  Any behavioural change to prefill —
@@ -357,6 +428,7 @@ SCENARIOS: Dict[str, Callable[[float], tuple]] = {
     "cleaning_heavy": _scenario_cleaning_heavy,
     "swtf_saturated": _scenario_swtf_saturated,
     "replay_10m": _scenario_replay_10m,
+    "fault_soak": _scenario_fault_soak,
     "prefill": _scenario_prefill,
 }
 
@@ -417,6 +489,15 @@ def test_hotpath_replay_10m(benchmark):
     result = _bench(benchmark, "replay_10m")
     # both op classes stream through the sink pipeline
     assert result["host_reads"] > 0 and result["host_writes"] > 0
+
+
+def test_hotpath_fault_soak(benchmark):
+    result = _bench(benchmark, "fault_soak")
+    # the seeded fault model must actually fire, and every injected
+    # program failure must surface as FTL-observed failure handling
+    assert result["fault_program_failures"] > 0
+    assert result["fault_read_transients"] > 0
+    assert result["blocks_retired"] > 0
 
 
 def test_hotpath_prefill(benchmark):

@@ -46,12 +46,16 @@ from benchmarks.bench_hotpath import BENCH_CORE, run_all
 #: metrics gated on regression (higher is better)
 _METRICS = ("ops_per_s", "events_per_s")
 #: fingerprint fields that must match exactly.  ``prefill_digest`` is the
-#: setup scenario's FTL-state CRC (absent from the event-driven scenarios,
-#: where missing-on-both-sides compares equal).
+#: setup scenario's FTL-state CRC, and the ``fault_*``/retirement/retry
+#: counters belong to ``fault_soak``; fields absent from a scenario
+#: compare equal when missing on both sides.
 _FINGERPRINT = (
     "final_clock_us", "host_writes", "host_reads", "flash_pages_programmed",
     "clean_pages_moved", "clean_erases", "clean_time_us", "ops", "events",
     "prefill_digest",
+    "fault_program_failures", "fault_erase_failures", "fault_read_transients",
+    "blocks_retired", "rescued_pages", "failed_pages", "read_retries",
+    "write_retries", "requests_failed", "error_completions",
 )
 
 

@@ -72,6 +72,10 @@ class IORequest:
 
     submit_us: float = field(default=-1.0, compare=False)
     complete_us: float = field(default=-1.0, compare=False)
+    #: terminal error of the completed request — None on success,
+    #: ``"transient"`` (flash failure, retries exhausted), ``"readonly"``
+    #: (spares exhausted, device degraded to read-only), or ``"timeout"``
+    error: Optional[str] = field(default=None, compare=False)
 
     # -- device-internal dispatch plumbing (stamped by the SSD; not part of
     # -- the host-visible request identity, hence compare=False/repr=False)
@@ -97,6 +101,9 @@ class IORequest:
     #: another even if the request object is resubmitted elsewhere.
     admit_epoch: int = field(default=0, compare=False, repr=False)
     admit_ok: bool = field(default=False, compare=False, repr=False)
+    #: host-side write retries remaining (stamped at submit from the
+    #: device's ``host_retry_limit``; decremented per retry)
+    retries_left: int = field(default=0, compare=False, repr=False)
     #: reusable dispatch event (see ``SSD._pump``): the controller-overhead
     #: hop re-arms this one Event instead of allocating per dispatch.  Owned
     #: by whichever device dispatched the request last; a device checks the
@@ -200,6 +207,7 @@ class IORequestPool:
             request.hints = hints
             request.submit_us = -1.0
             request.complete_us = -1.0
+            request.error = None
             return request
         return IORequest(op, offset, size, priority, on_complete, tag, hints)
 
@@ -231,6 +239,8 @@ class Completion:
     priority: int
     submit_us: float
     complete_us: float
+    #: terminal error of the request (see :attr:`IORequest.error`)
+    error: Optional[str] = None
 
     @property
     def response_us(self) -> float:
@@ -245,6 +255,7 @@ class Completion:
             priority=request.priority,
             submit_us=request.submit_us,
             complete_us=request.complete_us,
+            error=request.error,
         )
 
 
@@ -277,6 +288,12 @@ class DeviceStats:
         self.bytes_written = 0
         self.media_bytes_written = 0
         self.requests_completed = 0
+        #: host-side write retries performed after transient device errors
+        self.write_retries = 0
+        #: requests whose service time exceeded the configured bound
+        self.request_timeouts = 0
+        #: requests that completed with an error (any kind)
+        self.requests_failed = 0
         # prebound recorder entry points: record() runs once per request
         self._rec_read = self.reads.record
         self._rec_write = self.writes.record
@@ -286,6 +303,11 @@ class DeviceStats:
     def record(self, request: IORequest) -> None:
         latency = request.complete_us - request.submit_us
         self.requests_completed += 1
+        if request.error is not None:
+            # error completions move no data and carry no meaningful
+            # latency; they are counted, not folded into the recorders
+            self.requests_failed += 1
+            return
         op = request.op
         if op is OpType.READ:
             self.bytes_read += request.size

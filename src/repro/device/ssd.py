@@ -34,6 +34,7 @@ from repro.device.write_buffer import (
     QueueMergingBuffer,
 )
 from repro.flash.element import FlashElement
+from repro.flash.faults import FaultModel
 from repro.ftl.blockmap import BlockMappedFTL
 from repro.ftl.hybrid import HybridLogBlockFTL
 from repro.ftl.pagemap import PageMappedFTL
@@ -105,6 +106,15 @@ class SSD:
         else:
             self.write_buffer = PassthroughBuffer(sim, self.ftl)
 
+        self._faults_on = cfg.faults is not None and cfg.faults.enabled
+        if self._faults_on:
+            for el in self.elements:
+                el.fault_model = FaultModel(cfg.faults, el.element_id)
+            self.ftl.faults_enabled = True
+        self._retry_limit = cfg.host_retry_limit
+        self._retry_backoff_us = cfg.host_retry_backoff_us
+        self._timeout_us = cfg.request_timeout_us
+
         self.scheduler = make_scheduler(cfg.scheduler)
         self.link = SerialResource(sim, cfg.host_interface_mb_s)
         self._stats = DeviceStats(streaming=cfg.streaming_stats)
@@ -144,6 +154,8 @@ class SSD:
         # residency; its admission memo keys only the allocation state, so
         # it must restart fresh here (like the seq restamp below)
         request.admit_epoch = 0
+        request.error = None
+        request.retries_left = self._retry_limit
         if request.priority > 0:
             self._pending_priority += 1
         if (self.queue._live == 0 and self._inflight < self._max_inflight
@@ -195,10 +207,13 @@ class SSD:
         max_inflight = self._max_inflight
         admissible = self.admissible
         arm = self._arm_dispatch
+        retry_limit = self._retry_limit
         for request in requests:
             request.validate(capacity)
             request.submit_us = now
             request.admit_epoch = 0
+            request.error = None
+            request.retries_left = retry_limit
             if request.priority > 0:
                 self._pending_priority += 1
             if (queue._live == 0 and self._inflight < max_inflight
@@ -244,9 +259,18 @@ class SSD:
             if request is None:
                 head = queue.head()
                 if head is not None and head.op is OpType.WRITE:
-                    self.ftl.stats.write_stalls += 1
+                    ftl = self.ftl
+                    ftl.stats.write_stalls += 1
+                    if (self._faults_on and not ftl.read_only
+                            and ftl.write_wedged(head.offset, head.size)):
+                        # spares exhausted with no reclamation in flight:
+                        # degrade to read-only instead of stalling forever
+                        ftl.enter_read_only()
+                    if ftl.read_only:
+                        self._fail_queued_writes()
+                        continue  # reads behind the writes can now dispatch
                     # blocked on allocation headroom: force reclamation
-                    self.ftl.ensure_space(head.offset, head.size)
+                    ftl.ensure_space(head.offset, head.size)
                 return
             queue.remove(request)
             self._inflight += 1
@@ -321,7 +345,18 @@ class SSD:
         self.link.transfer(request.size, request._cbs[3])
 
     def _complete(self, request: IORequest) -> None:
-        request.complete_us = self.sim.now
+        now = self.sim.now
+        request.complete_us = now
+        error = request.error
+        if error is not None:
+            if (error == "transient" and request.retries_left > 0
+                    and not self.ftl.read_only):
+                self._schedule_retry(request)
+                return
+        elif (self._timeout_us is not None
+              and now - request.submit_us > self._timeout_us):
+            request.error = "timeout"
+            self._stats.request_timeouts += 1
         self._stats_record(request)
         if request.priority > 0:
             self._pending_priority -= 1
@@ -333,6 +368,46 @@ class SSD:
             self._release_slot()
         if request.on_complete is not None:
             request.on_complete(request)
+
+    def _schedule_retry(self, request: IORequest) -> None:
+        """A write failed with a transient error and has retry budget:
+        release its service resources now and resubmit after an
+        exponentially-growing backoff."""
+        request.retries_left -= 1
+        self._stats.write_retries += 1
+        if request.priority > 0:
+            self._pending_priority -= 1
+            if self._pending_priority == 0:
+                self.ftl.priority_idle()
+        if request.early_release:
+            request.early_release = False
+        else:
+            self._release_slot()
+        attempt = self._retry_limit - request.retries_left  # 1-based
+        delay = self._retry_backoff_us * (2.0 ** (attempt - 1))
+        self.sim.schedule(delay, self._resubmit, request)
+
+    def _resubmit(self, request: IORequest) -> None:
+        """Re-enter the front door, preserving the original submit stamp
+        (latency spans all attempts) and the remaining retry budget."""
+        first_submit_us = request.submit_us
+        budget = request.retries_left
+        self.submit(request)
+        request.submit_us = first_submit_us
+        request.retries_left = budget
+
+    def _fail_queued_writes(self) -> None:
+        """Read-only degradation: complete every queued write with an
+        error so the reads queued behind them can proceed."""
+        failed = [r for r in self.queue if r.op is OpType.WRITE]
+        for request in failed:
+            self.queue.remove(request)
+            request.error = "readonly"
+            # never dispatched, so there is no NCQ slot to release
+            request.early_release = True
+            # complete via a zero-delay event: the driver's on_complete may
+            # submit more requests, which must not re-enter the pump
+            self.sim.schedule(0.0, self._complete, request)
 
     def _release_slot(self) -> None:
         self._inflight -= 1

@@ -9,6 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
+from repro.flash.faults import FaultConfig
 from repro.flash.geometry import FlashGeometry
 from repro.flash.timing import FlashTiming
 from repro.ftl.cleaning import CleaningConfig
@@ -67,6 +68,17 @@ class SSDConfig:
     #: result sink for O(1)-memory replay of arbitrarily long traces
     streaming_stats: bool = False
 
+    #: flash failure injection (None or ``enabled=False`` leaves every
+    #: fault hook dormant — runs are bit-identical to the fault-free model)
+    faults: Optional[FaultConfig] = None
+    #: host-side retries for writes failing with a transient device error
+    host_retry_limit: int = 2
+    #: backoff before the first retry; doubles per subsequent attempt
+    host_retry_backoff_us: float = 100.0
+    #: completion-time bound: a request whose service exceeds this completes
+    #: with ``error="timeout"`` (None disables the check)
+    request_timeout_us: Optional[float] = None
+
     def __post_init__(self) -> None:
         if self.n_elements <= 0:
             raise ValueError("n_elements must be positive")
@@ -78,6 +90,12 @@ class SSDConfig:
             raise ValueError("max_inflight must be positive")
         if self.controller_overhead_us < 0:
             raise ValueError("controller_overhead_us must be non-negative")
+        if self.host_retry_limit < 0:
+            raise ValueError("host_retry_limit must be non-negative")
+        if self.host_retry_backoff_us < 0:
+            raise ValueError("host_retry_backoff_us must be non-negative")
+        if self.request_timeout_us is not None and self.request_timeout_us <= 0:
+            raise ValueError("request_timeout_us must be positive (or None)")
 
     def with_(self, **overrides) -> "SSDConfig":
         """Copy with the given fields replaced."""

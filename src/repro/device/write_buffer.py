@@ -32,6 +32,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.device.interface import IORequest
+from repro.ftl.base import DeviceFullError
 from repro.sim.engine import Event, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -88,7 +89,24 @@ class PassthroughBuffer:
 
             request._wb_owner = self
             request._wb_done = done
-        self.ftl.write(request.offset, request.size, done=done, temp=temp)
+        ftl = self.ftl
+        if not ftl.faults_enabled:
+            ftl.write(request.offset, request.size, done=done, temp=temp)
+            return
+        try:
+            ftl.write(request.offset, request.size, done=done, temp=temp)
+        except DeviceFullError:
+            # the spare pool dried mid-write (stripe FTLs under grown bad
+            # blocks): fail the request instead of crashing the run; the
+            # completion still fires through the normal adapter
+            ftl._note_write_error()
+            self.sim.schedule(0.0, done, 0.0)
+        # allocation-path failures are synchronous: attribute the FTL's
+        # sticky error to the request that triggered it, so the device can
+        # retry or surface it
+        if ftl.write_error is not None:
+            request.error = ftl.write_error
+            ftl.write_error = None
 
     def before_read(self, offset: int, size: int, proceed: Callable[[], None]) -> None:
         proceed()
@@ -284,6 +302,26 @@ class _Run:
         self.requests: List[IORequest] = []
 
 
+class _RunDone:
+    """Slab-recycled completion callable for one drained run.
+
+    The drain path used to allocate a fresh closure per issued run; these
+    callables recycle through the buffer's pool instead (the same slab
+    discipline as ``CompletionJoin`` and the SSD's dispatch adapters)."""
+
+    __slots__ = ("buffer", "run")
+
+    def __init__(self, buffer: "AligningWriteBuffer") -> None:
+        self.buffer = buffer
+        self.run: Optional[_Run] = None
+
+    def __call__(self, now: float) -> None:
+        run, self.run = self.run, None
+        buffer = self.buffer
+        buffer._done_pool.append(self)
+        buffer._run_done(run)
+
+
 class AligningWriteBuffer:
     """Merge and stripe-align buffered writes (see module docstring).
 
@@ -325,6 +363,8 @@ class AligningWriteBuffer:
         self.flushes = 0
         self.full_page_flushes = 0
         self._complete: Optional[Callable[[IORequest], None]] = None
+        #: recycled per-run completion callables (see :class:`_RunDone`)
+        self._done_pool: List[_RunDone] = []
 
     # ------------------------------------------------------------------
     # insertion
@@ -368,21 +408,30 @@ class AligningWriteBuffer:
         self._timers[page] = self.sim.schedule(
             self.window_us, self._window_expired, page
         )
+        # splice [lo, hi) into the sorted disjoint run list — the same
+        # bisect-window discipline as QueueMergingBuffer._absorb, replacing
+        # the scan-everything-then-sort pass.  Runs are kept strictly
+        # separated (touching runs merge on insert), so at most one left
+        # neighbour can fold and followers fold while they start inside the
+        # new range; request order within the merged run matches the old
+        # scan order (new request first, folded runs ascending by start).
         added = hi - lo
         merged = _Run(lo, hi)
         merged.requests.append(request)
-        keep: List[_Run] = []
-        for run in runs:
-            if run.end < merged.start or run.start > merged.end:
-                keep.append(run)
-            else:
-                added -= max(0, min(run.end, hi) - max(run.start, lo))
-                merged.start = min(merged.start, run.start)
-                merged.end = max(merged.end, run.end)
-                merged.requests.extend(run.requests)
-        keep.append(merged)
-        keep.sort(key=lambda r: r.start)
-        self._pages[page] = keep
+        i = bisect_right(runs, lo, key=_run_start)
+        if i and runs[i - 1].end >= lo:
+            i -= 1
+        j = i
+        while j < len(runs) and runs[j].start <= hi:
+            run = runs[j]
+            added -= max(0, min(run.end, hi) - max(run.start, lo))
+            if run.start < merged.start:
+                merged.start = run.start
+            if run.end > merged.end:
+                merged.end = run.end
+            merged.requests.extend(run.requests)
+            j += 1
+        runs[i:j] = [merged]
         self.buffered_bytes += max(0, added)
 
     def _covered(self, page: int) -> int:
@@ -427,11 +476,10 @@ class AligningWriteBuffer:
                 self.ftl.ensure_space(base + run.start, run.end - run.start)
                 return  # retried via on_space_freed
             self._drain_queue.popleft()
-            self.ftl.write(
-                base + run.start,
-                run.end - run.start,
-                done=lambda now, r=run: self._run_done(r),
-            )
+            pool = self._done_pool
+            cb = pool.pop() if pool else _RunDone(self)
+            cb.run = run
+            self.ftl.write(base + run.start, run.end - run.start, done=cb)
 
     def _run_done(self, run: _Run) -> None:
         if self.ack != "flush":

@@ -131,6 +131,13 @@ class FlashElement:
         self.erases_performed = 0
         self.pages_programmed = 0
         self.pages_read = 0
+        #: read-retry steps endured (transient read errors, faults only)
+        self.read_retries = 0
+
+        #: optional :class:`repro.flash.faults.FaultModel`; None (the
+        #: default) means a flawless medium — every hook below is guarded
+        #: so fault-free runs stay bit-identical
+        self.fault_model = None
 
         #: optional hook invoked whenever the element becomes idle
         self.on_idle: Optional[Callable[[], None]] = None
@@ -273,21 +280,24 @@ class FlashElement:
     # physical state transitions (synchronous; called by the FTL at issue)
     # ------------------------------------------------------------------
 
-    def program_state(self, block: int, page: int, lpn: int) -> None:
+    def program_state(self, block: int, page: int, lpn: int,
+                      op: str = "program", tag: Optional[str] = None) -> None:
         """Mark (block, page) programmed with logical page *lpn*.
 
-        Enforces NAND in-order programming within a block.
+        Enforces NAND in-order programming within a block.  *op* and *tag*
+        only enrich the error message when the transition is illegal.
         """
         if self._ps[block, page] != PageState.FREE:
             raise FlashStateError(
-                f"element {self.element_id}: program of non-free page "
-                f"({block}, {page}) state={self.page_state[block, page]}"
+                f"element {self.element_id}: {op} (tag={tag}) of non-free "
+                f"page ({block}, {page}) state={self.page_state[block, page]}"
             )
         write_ptr = self._wp[block]
         if self.strict_program_order and page != write_ptr:
             raise FlashStateError(
-                f"element {self.element_id}: out-of-order program of page {page} "
-                f"in block {block} (write_ptr={self.write_ptr[block]})"
+                f"element {self.element_id}: out-of-order {op} (tag={tag}) of "
+                f"page {page} in block {block} "
+                f"(write_ptr={self.write_ptr[block]})"
             )
         self._ps[block, page] = PageState.VALID
         self._rl[block, page] = lpn
@@ -297,23 +307,26 @@ class FlashElement:
         self._mt[block] = self.sim.now
         self.pages_programmed += 1
 
-    def invalidate_state(self, block: int, page: int) -> None:
+    def invalidate_state(self, block: int, page: int,
+                         op: str = "invalidate",
+                         tag: Optional[str] = None) -> None:
         """Mark a previously valid page invalid (its data was superseded)."""
         if self._ps[block, page] != PageState.VALID:
             raise FlashStateError(
-                f"element {self.element_id}: invalidate of non-valid page "
-                f"({block}, {page}) state={self.page_state[block, page]}"
+                f"element {self.element_id}: {op} (tag={tag}) of non-valid "
+                f"page ({block}, {page}) state={self.page_state[block, page]}"
             )
         self._ps[block, page] = PageState.INVALID
         self._rl[block, page] = -1
         self._vc[block] -= 1
 
-    def erase_state(self, block: int) -> None:
+    def erase_state(self, block: int, op: str = "erase",
+                    tag: Optional[str] = None) -> None:
         """Reset a block to all-free and charge one erase cycle."""
         if self._vc[block] != 0:
             raise FlashStateError(
-                f"element {self.element_id}: erase of block {block} with "
-                f"{self.valid_count[block]} valid pages"
+                f"element {self.element_id}: {op} (tag={tag}) of block "
+                f"{block} with {self.valid_count[block]} valid pages"
             )
         self.page_state[block, :] = PageState.FREE
         self.reverse_lpn[block, :] = -1
@@ -324,13 +337,28 @@ class FlashElement:
         if count >= self.timing.erase_cycles:
             self._rt[block] = True
 
-    def read_state_check(self, block: int, page: int) -> None:
+    def read_state_check(self, block: int, page: int, op: str = "read",
+                         tag: Optional[str] = None) -> None:
         """Sanity check that a read targets a valid page."""
         if self._ps[block, page] != PageState.VALID:
             raise FlashStateError(
-                f"element {self.element_id}: read of non-valid page "
-                f"({block}, {page}) state={self.page_state[block, page]}"
+                f"element {self.element_id}: {op} (tag={tag}) of non-valid "
+                f"page ({block}, {page}) state={self.page_state[block, page]}"
             )
+
+    def _burn_page(self, block: int, page: int, op: str, tag: str) -> None:
+        """A program failed on (block, page): the page is consumed (the
+        write pointer advances, state goes INVALID) but holds no data."""
+        ps = self._ps
+        if ps[block, page] != PageState.FREE:
+            self.program_state(block, page, -1, op=op, tag=tag)  # raises
+        wp = self._wp
+        write_ptr = wp[block]
+        if self.strict_program_order and page != write_ptr:
+            self.program_state(block, page, -1, op=op, tag=tag)  # raises
+        ps[block, page] = PageState.INVALID
+        if page >= write_ptr:
+            wp[block] = page + 1
 
     # ------------------------------------------------------------------
     # convenience issue helpers (state transition + timed command)
@@ -345,14 +373,22 @@ class FlashElement:
         callback: Optional[Callable[[float], None]] = None,
     ) -> None:
         if self._ps[block, page] != PageState.VALID:
-            self.read_state_check(block, page)  # raises with full detail
+            self.read_state_check(block, page, tag=tag)  # raises with detail
         self.pages_read += 1
         if nbytes is None or nbytes == self._page_bytes:
-            self._issue(OpKind.READ, self._page_bytes, tag, callback,
-                        self._page_read_us)
+            nbytes = self._page_bytes
+            duration = self._page_read_us
         else:
-            self._issue(OpKind.READ, nbytes, tag, callback,
-                        self.timing.duration_us(OpKind.READ, nbytes))
+            duration = self.timing.duration_us(OpKind.READ, nbytes)
+        fm = self.fault_model
+        if fm is not None:
+            steps = fm.draw_read_retries(block, page)
+            if steps:
+                # transient read error: each retry step re-reads the page
+                # with shifted thresholds, paying escalating latency
+                self.read_retries += steps
+                duration += fm.retry_penalty_us(steps)
+        self._issue(OpKind.READ, nbytes, tag, callback, duration)
 
     def program_page(
         self,
@@ -362,16 +398,32 @@ class FlashElement:
         nbytes: Optional[int] = None,
         tag: str = TAG_HOST,
         callback: Optional[Callable[[float], None]] = None,
-    ) -> None:
+    ) -> bool:
+        """Program a page.  Returns False when fault injection failed the
+        program: the page is burned (consumed, INVALID), the op's time is
+        charged, and the caller's *callback* does NOT ride the op — the
+        caller must redirect the write and retire the block."""
         # state transition inlined from program_state (one call per host
         # write; the checks are identical)
         ps = self._ps
         if ps[block, page] != 0:  # PageState.FREE
-            self.program_state(block, page, lpn)  # raises with full detail
+            self.program_state(block, page, lpn, tag=tag)  # raises with detail
         wp = self._wp
         write_ptr = wp[block]
         if self.strict_program_order and page != write_ptr:
-            self.program_state(block, page, lpn)  # raises with full detail
+            self.program_state(block, page, lpn, tag=tag)  # raises with detail
+        if nbytes is None or nbytes == self._page_bytes:
+            nbytes = self._page_bytes
+            duration = self._page_program_us
+        else:
+            duration = self.timing.duration_us(OpKind.PROGRAM, nbytes)
+        fm = self.fault_model
+        if fm is not None and fm.draw_program_failure(block, page):
+            ps[block, page] = 2  # PageState.INVALID: burned
+            if page >= write_ptr:
+                wp[block] = page + 1
+            self._issue(OpKind.PROGRAM, nbytes, tag, None, duration)
+            return False
         ps[block, page] = 1  # PageState.VALID
         self._rl[block, page] = lpn
         self._vc[block] += 1
@@ -379,21 +431,30 @@ class FlashElement:
             wp[block] = page + 1
         self._mt[block] = self.sim.now
         self.pages_programmed += 1
-        if nbytes is None or nbytes == self._page_bytes:
-            self._issue(OpKind.PROGRAM, self._page_bytes, tag, callback,
-                        self._page_program_us)
-        else:
-            self._issue(OpKind.PROGRAM, nbytes, tag, callback,
-                        self.timing.duration_us(OpKind.PROGRAM, nbytes))
+        self._issue(OpKind.PROGRAM, nbytes, tag, callback, duration)
+        return True
 
     def erase_block(
         self,
         block: int,
         tag: str = TAG_CLEAN,
         callback: Optional[Callable[[float], None]] = None,
-    ) -> None:
-        self.erase_state(block)
+    ) -> bool:
+        """Erase a block.  Returns False when fault injection failed the
+        erase: the block becomes a grown bad block (``retired`` set, pages
+        left as-is, no cycle charged).  Time is still charged and the
+        callback still fires — callers chain state machines off it — but
+        the block must never be re-pooled."""
+        fm = self.fault_model
+        if fm is not None and fm.draw_erase_failure(block, self._ec[block]):
+            if self._vc[block] != 0:
+                self.erase_state(block, tag=tag)  # raises with full detail
+            self._rt[block] = True
+            self._issue(OpKind.ERASE, 0, tag, callback, self._erase_cmd_us)
+            return False
+        self.erase_state(block, tag=tag)
         self._issue(OpKind.ERASE, 0, tag, callback, self._erase_cmd_us)
+        return True
 
     def copy_page(
         self,
@@ -404,24 +465,38 @@ class FlashElement:
         lpn: int,
         tag: str = TAG_CLEAN,
         callback: Optional[Callable[[float], None]] = None,
-    ) -> None:
-        """Copy-back a valid page to a free page within this element."""
+    ) -> bool:
+        """Copy-back a valid page to a free page within this element.
+
+        Returns False when fault injection failed the program half: the
+        destination page is burned, the source page stays VALID (the data
+        was never lost from the medium), time is charged, and the caller's
+        *callback* does not ride the op — the caller retries elsewhere."""
         # transitions inlined from read_state_check + invalidate_state +
         # program_state (cleaning-heavy runs do one copy per moved page)
         ps = self._ps
         if ps[src_block, src_page] != 1:  # PageState.VALID
-            self.read_state_check(src_block, src_page)  # raises
+            self.read_state_check(src_block, src_page, op="copy", tag=tag)
+        fm = self.fault_model
+        if fm is not None and fm.draw_program_failure(dst_block, dst_page):
+            # draw BEFORE invalidating the source: a failed copy-back can
+            # always be retried from the still-valid source page
+            self._burn_page(dst_block, dst_page, "copy", tag)
+            self.pages_read += 1
+            self._issue(OpKind.COPY, self._page_bytes, tag, None,
+                        self._page_copy_us)
+            return False
         rl = self._rl
         ps[src_block, src_page] = 2  # PageState.INVALID
         rl[src_block, src_page] = -1
         vc = self._vc
         vc[src_block] -= 1
         if ps[dst_block, dst_page] != 0:  # PageState.FREE
-            self.program_state(dst_block, dst_page, lpn)  # raises
+            self.program_state(dst_block, dst_page, lpn, op="copy", tag=tag)
         wp = self._wp
         write_ptr = wp[dst_block]
         if self.strict_program_order and dst_page != write_ptr:
-            self.program_state(dst_block, dst_page, lpn)  # raises
+            self.program_state(dst_block, dst_page, lpn, op="copy", tag=tag)
         ps[dst_block, dst_page] = 1  # PageState.VALID
         rl[dst_block, dst_page] = lpn
         vc[dst_block] += 1
@@ -432,6 +507,7 @@ class FlashElement:
         self.pages_read += 1
         self._issue(OpKind.COPY, self._page_bytes, tag, callback,
                     self._page_copy_us)
+        return True
 
     # ------------------------------------------------------------------
 

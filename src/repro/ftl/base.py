@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional, Set
 
 import numpy as np
 
-from repro.flash.element import FlashElement
+from repro.flash.element import FlashElement, PageState
 from repro.flash.ops import TAG_CLEAN, TAG_HOST
 from repro.ftl.freepool import FreeBlockPool
 from repro.sim.engine import Simulator
@@ -91,6 +91,17 @@ class FTLStats:
     trimmed_pages: int = 0
     #: writes refused admission at least once (backpressure events)
     write_stalls: int = 0
+    #: fault handling (all zero unless fault injection is enabled):
+    #: program/copy failures the FTL redirected or rescued
+    program_failures: int = 0
+    #: erase failures that turned blocks into grown bad blocks
+    erase_failures: int = 0
+    #: blocks removed from circulation (grown bad blocks + wear-out)
+    blocks_retired: int = 0
+    #: still-valid pages copied out of a block at retirement time
+    rescued_pages: int = 0
+    #: pages whose data was lost because no spare could be allocated
+    failed_pages: int = 0
 
     def as_dict(self) -> dict:
         """Field name -> value (what ``vars()`` gave before ``slots``)."""
@@ -207,6 +218,32 @@ class BaseFTL:
         self.priority_probe: Callable[[], int] = lambda: 0
         #: hook fired when cleaning frees space (SSD retries stalled writes)
         self.on_space_freed: Optional[Callable[[], None]] = None
+        #: True once fault injection is attached (set by the SSD); gates the
+        #: wedge probes so fault-free runs never pay for them
+        self.faults_enabled = False
+        #: once True the device only serves reads: spares are exhausted and
+        #: no reclamation can make progress (grown bad blocks ate the pool)
+        self.read_only = False
+        #: set when an in-flight write lost data ("transient": a retry may
+        #: succeed once reclamation or retirement completes; "readonly":
+        #: the device has degraded).  The write buffer moves it onto the
+        #: request so the host sees an error completion.
+        self.write_error: Optional[str] = None
+
+    def enter_read_only(self) -> None:
+        """Degrade to read-only: writes are refused admission from here on
+        (the SSD fails queued writes instead of stalling forever)."""
+        if not self.read_only:
+            self.read_only = True
+            # admission memos are keyed on the epoch; invalidate them all
+            self.alloc_epoch = _ALLOC_EPOCH()
+
+    def write_wedged(self, offset: int, size: int) -> bool:
+        """True when a blocked write can never be admitted again: the free
+        pool is exhausted and no reclamation (cleaning, stripe retirement)
+        is possible or in flight.  Probed by the SSD on the write-stall
+        path only, and only when fault injection is enabled."""
+        return False
 
     def acquire_join(
         self, done: Optional[Callable[[float], None]]
@@ -265,6 +302,12 @@ class BaseFTL:
         raise NotImplementedError
 
     # -- shared accounting -------------------------------------------------
+
+    def _note_write_error(self) -> None:
+        """An in-flight write lost data; the SSD surfaces the error on the
+        request's completion (first error wins until consumed)."""
+        if self.write_error is None:
+            self.write_error = "readonly" if self.read_only else "transient"
 
     def _space_freed(self) -> None:
         if self.on_space_freed is not None:
@@ -398,28 +441,128 @@ class StripeFTLBase(BaseFTL):
 
     def _retire_row(self, gang: int, row: int) -> None:
         """Erase a fully-invalidated stripe in the background and return it
-        to the pool once every element finishes."""
+        to the pool once every element finishes.  If any element's erase
+        fails (fault injection), the whole stripe becomes a grown bad row
+        and leaves circulation instead of re-pooling."""
         self._retiring[gang].add(row)
-        remaining = [self.shards]
+        # [outstanding erases, any-failed]
+        remaining = [self.shards, False]
 
         def _one_done(now: float) -> None:
             remaining[0] -= 1
             if remaining[0] == 0:
                 self._retiring[gang].discard(row)
-                self._pool[gang].push(row)
+                if remaining[1]:
+                    self._retire_bad_row(gang, row)
+                else:
+                    self._pool[gang].push(row)
                 self.alloc_epoch = _ALLOC_EPOCH()
+                # fires even for a bad row: stalled writes must re-probe so
+                # the SSD can detect a wedged (read-only) device
                 self._space_freed()
 
         timing = self.elements[gang * self.shards].timing
         for j in range(self.shards):
             el = self.elements[gang * self.shards + j]
-            el.erase_block(row, tag=TAG_CLEAN, callback=_one_done)
+            if not el.erase_block(row, tag=TAG_CLEAN, callback=_one_done):
+                remaining[1] = True
+                self.stats.erase_failures += 1
             self.stats.clean_erases += 1
             self.stats.clean_time_us += timing.erase_us()
+
+    def _retire_bad_row(self, gang: int, row: int) -> None:
+        """An erase failed somewhere in the stripe: the row is useless as a
+        unit (stripe FTLs allocate whole rows), so retire it on every
+        element of the gang."""
+        base = gang * self.shards
+        for j in range(self.shards):
+            self.elements[base + j].retired[row] = True
+        self.stats.blocks_retired += self.shards
+
+    def _relocate_row(self, gang: int, bad_row: int) -> int:
+        """A program failed in *bad_row*: move every valid page to the same
+        position in a fresh row, retire *bad_row* gang-wide, and rewrite
+        the logical maps via :meth:`_row_relocated`.
+
+        The rescue copies run with fault injection suspended — they model
+        the verified writes a controller performs when saving data off a
+        failing block.  Returns the new row, or -1 when no spare row is
+        available (the caller records the loss and leaves the bad row in
+        place, burned page and all)."""
+        if not self._pool[gang]:
+            return -1
+        new_row = self._alloc_row(gang)
+        base = gang * self.shards
+        ppb = self.geometry.pages_per_block
+        saved = [self.elements[base + j].fault_model for j in range(self.shards)]
+        try:
+            for j in range(self.shards):
+                el = self.elements[base + j]
+                el.fault_model = None
+                ps = el.page_state
+                for local in range(ppb):
+                    if ps[bad_row, local] == PageState.VALID:
+                        lpn = int(el.reverse_lpn[bad_row, local])
+                        el.copy_page(bad_row, local, new_row, local, lpn,
+                                     tag=TAG_CLEAN)
+                        self.stats.rescued_pages += 1
+                        self.stats.flash_pages_programmed += 1
+        finally:
+            for j in range(self.shards):
+                self.elements[base + j].fault_model = saved[j]
+        for j in range(self.shards):
+            self.elements[base + j].retired[bad_row] = True
+        self.stats.blocks_retired += self.shards
+        self._row_relocated(gang, bad_row, new_row)
+        self.alloc_epoch = _ALLOC_EPOCH()
+        return new_row
+
+    def _row_relocated(self, gang: int, old_row: int, new_row: int) -> None:
+        """Every live page of *old_row* now sits at the same position in
+        *new_row*: rewrite the logical maps.  Subclasses with extra row
+        indexes (the hybrid's log structures) extend this."""
+        m = self._maps[gang]
+        m[m == old_row] = new_row
+
+    def _rescue_program(self, gang: int, row: int, p: int, slot: int,
+                        tag: str, callback) -> int:
+        """The program of stripe page *p* into *row* just failed: relocate
+        the row and retry until the page lands or the spare rows run out
+        (then the page is recorded lost, *callback* still fires, and the
+        burned page stays in the surviving row).  Returns the row the
+        stripe now lives in — callers must keep using it — and bumps
+        ``flash_pages_programmed`` when the page landed."""
+        el, local = self._element(gang, p)
+        stats = self.stats
+        while True:
+            stats.program_failures += 1
+            new_row = self._relocate_row(gang, row)
+            if new_row < 0:
+                stats.failed_pages += 1
+                self._note_write_error()
+                complete_async(self.sim, callback)
+                return row
+            row = new_row
+            if el.program_page(row, local, slot, tag=tag, callback=callback):
+                stats.flash_pages_programmed += 1
+                return row
+
+    def _program_with_rescue(self, gang: int, row: int, p: int, slot: int,
+                             tag: str, callback) -> int:
+        """Program stripe page *p* of *row*, rescuing on a program failure;
+        counts ``flash_pages_programmed`` and returns the possibly-relocated
+        row (see :meth:`_rescue_program`)."""
+        el, local = self._element(gang, p)
+        if el.program_page(row, local, slot, tag=tag, callback=callback):
+            self.stats.flash_pages_programmed += 1
+            return row
+        return self._rescue_program(gang, row, p, slot, tag, callback)
 
     # -- admission / introspection ---------------------------------------
 
     def can_accept_write(self, offset: int, size: int) -> bool:
+        if self.read_only:
+            return False
         sb = self.stripe_bytes
         lbn0 = offset // sb
         lbn1 = (offset + size - 1) // sb
@@ -437,6 +580,21 @@ class StripeFTLBase(BaseFTL):
             len(self._pool[gang]) - count >= self.reserve_rows
             for gang, count in needed.items()
         )
+
+    def write_wedged(self, offset: int, size: int) -> bool:
+        sb = self.stripe_bytes
+        needed: Dict[int, int] = {}
+        for lbn in range(offset // sb, (offset + size - 1) // sb + 1):
+            gang = lbn % self.n_gangs
+            needed[gang] = needed.get(gang, 0) + 1
+        for gang, count in needed.items():
+            if len(self._pool[gang]) - count >= self.reserve_rows:
+                continue
+            if self._retiring[gang]:
+                # background erases in flight may replenish the pool
+                return False
+            return True
+        return False
 
     def elements_for_range(self, offset: int, size: int) -> List[int]:
         sb = self.stripe_bytes

@@ -91,8 +91,10 @@ class BlockMappedFTL(StripeFTLBase):
                 self.stats.host_pages_written += 1
                 self.stats.host_writes += 1
                 el, local = self._element(gang, p)
-                el.program_page(row, local, slot, tag=tag, callback=done)
-                self.stats.flash_pages_programmed += 1
+                if el.program_page(row, local, slot, tag=tag, callback=done):
+                    self.stats.flash_pages_programmed += 1
+                else:
+                    self._rescue_program(gang, row, p, slot, tag, done)
                 return
 
         join = self.acquire_join(done)
@@ -140,10 +142,9 @@ class BlockMappedFTL(StripeFTLBase):
     ) -> None:
         """Program host pages in place (fresh stripe or pure append)."""
         for p in range(p0, p1 + 1):
-            el, local = self._element(gang, p)
             join.expect()
-            el.program_page(row, local, slot, tag=tag, callback=join.child_done)
-            self.stats.flash_pages_programmed += 1
+            row = self._program_with_rescue(gang, row, p, slot, tag,
+                                            join.child_done)
 
     def _rmw(
         self,
@@ -180,10 +181,10 @@ class BlockMappedFTL(StripeFTLBase):
                                  callback=join.child_done)
                     el.invalidate_state(old_row, local)
                     join.expect()
-                    el.program_page(new_row, local, slot, tag=tag,
-                                    callback=join.child_done)
+                    new_row = self._program_with_rescue(
+                        gang, new_row, p, slot, tag, join.child_done
+                    )
                     self.stats.rmw_pages_read += 1
-                    self.stats.flash_pages_programmed += 1
                 continue
             if state == PageState.VALID:
                 if covered < fp:
@@ -196,8 +197,9 @@ class BlockMappedFTL(StripeFTLBase):
                     self.stats.rmw_pages_read += 1
                 el.invalidate_state(old_row, local)
             join.expect()
-            el.program_page(new_row, local, slot, tag=tag, callback=join.child_done)
-            self.stats.flash_pages_programmed += 1
+            new_row = self._program_with_rescue(
+                gang, new_row, p, slot, tag, join.child_done
+            )
         self._maps[gang][slot] = new_row
         self._retire_row(gang, old_row)
 

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.flash.element import PageState
 from repro.flash.ops import TAG_CLEAN
+from repro.ftl.base import DeviceFullError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ftl.pagemap import PageMappedFTL
@@ -90,6 +91,10 @@ class Cleaner:
             int(config.critical_watermark * pages_per_element), reserve + 4
         )
         self._active = [False] * n
+        #: a clean was abandoned because no destination page could be
+        #: allocated (grown bad blocks ate the spares): the element cannot
+        #: reclaim anything — the device should degrade to read-only
+        self._no_space = [False] * n
         # hoisted config/FTL fields: maybe_clean probes once per host write
         self._priority_aware = config.priority_aware
         self._free = ftl._free
@@ -181,9 +186,11 @@ class Cleaner:
         """Pick a victim block, or -1 if no block would gain free pages."""
         el = self.ftl.elements[e_idx]
         ppb = self.ftl.geometry.pages_per_block
-        # any written, non-frontier block is a candidate (erasing a block
-        # with valid count v and w written pages nets ppb - v free pages)
-        candidates = el.write_ptr > 0
+        # any written, non-frontier, non-retired block is a candidate
+        # (erasing a block with valid count v and w written pages nets
+        # ppb - v free pages; retired blocks can never be re-pooled, so
+        # cleaning them would only burn copies)
+        candidates = (el.write_ptr > 0) & ~el.retired
         for frontier in self.ftl.frontier_blocks(e_idx):
             candidates[frontier] = False
         for block in self.being_cleaned[e_idx]:
@@ -253,15 +260,32 @@ class Cleaner:
             last = len(batch) - 1
             for position, page in enumerate(batch):
                 slot = reverse_lpn[victim, page]
-                dst_block, dst_page = ftl.allocate_page(
-                    e_idx, temp="hot", for_cleaning=True
-                )
+                try:
+                    dst_block, dst_page = ftl.allocate_page(
+                        e_idx, temp="hot", for_cleaning=True
+                    )
+                except DeviceFullError:
+                    self._abandon(e_idx, victim)
+                    return
                 callback = None
                 if more and position == last:
                     self._batch_cont[e_idx] = (victim, pages, index)
                     callback = self._batch_cbs[e_idx]
-                el.copy_page(victim, page, dst_block, dst_page, slot,
-                             tag=TAG_CLEAN, callback=callback)
+                while not el.copy_page(victim, page, dst_block, dst_page,
+                                       slot, tag=TAG_CLEAN,
+                                       callback=callback):
+                    # fault injection burned the destination page: retire
+                    # that block and retry the copy from the still-valid
+                    # source into a fresh frontier page
+                    stats.program_failures += 1
+                    ftl.retire_block(e_idx, dst_block)
+                    try:
+                        dst_block, dst_page = ftl.allocate_page(
+                            e_idx, temp="hot", for_cleaning=True
+                        )
+                    except DeviceFullError:
+                        self._abandon(e_idx, victim)
+                        return
                 emap[slot] = dst_block * ppb + dst_page
                 stats.clean_pages_moved += 1
                 stats.clean_time_us += copy_us
@@ -270,7 +294,23 @@ class Cleaner:
                 return
         stats.clean_time_us += timing.erase_us()
         self._erasing[e_idx] = victim
-        el.erase_block(victim, tag=TAG_CLEAN, callback=self._erase_cbs[e_idx])
+        if not el.erase_block(victim, tag=TAG_CLEAN,
+                              callback=self._erase_cbs[e_idx]):
+            # grown bad block: _erase_done still runs (the callback fires)
+            # and release_block keeps the retired block out of the pool
+            stats.erase_failures += 1
+
+    def _abandon(self, e_idx: int, victim: int) -> None:
+        """No destination page can be allocated for the victim's valid
+        data: abandon the clean (the victim keeps its remaining valid
+        pages).  The element can no longer reclaim space, so flag it wedged
+        and poke the device asynchronously — its dispatch pump re-probes
+        stalled writes and degrades to read-only."""
+        ftl = self.ftl
+        self.being_cleaned[e_idx].discard(victim)
+        self._active[e_idx] = False
+        self._no_space[e_idx] = True
+        ftl.sim.schedule(0.0, ftl._space_freed)
 
     def _batch_done(self, e_idx: int, victim: int, pages: list, start: int) -> None:
         """A copy batch finished: pause for priority traffic or continue."""

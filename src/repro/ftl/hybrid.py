@@ -159,30 +159,75 @@ class HybridLogBlockFTL(StripeFTLBase):
                 src_el, src_local = self._element(gang, lpos)
                 del index[(slot, p)]
                 if src_el is home_el:
-                    src_el.copy_page(
-                        lrow, src_local, new_row, home_local, slot, tag=TAG_CLEAN
+                    new_row = self._merge_copy(
+                        gang, src_el, lrow, src_local, new_row, home_local, slot
                     )
                     self.stats.clean_time_us += timing.copy_us(geom.page_bytes)
                 else:
                     src_el.read_page(lrow, src_local, tag=TAG_CLEAN)
                     src_el.invalidate_state(lrow, src_local)
-                    home_el.program_page(new_row, home_local, slot, tag=TAG_CLEAN)
+                    new_row = self._program_with_rescue(
+                        gang, new_row, p, slot, TAG_CLEAN, None
+                    )
+                    if home_el.page_state[new_row, home_local] == PageState.VALID:
+                        self.stats.clean_pages_moved += 1
                     self.stats.clean_time_us += timing.read_us(
                         geom.page_bytes
                     ) + timing.program_us(geom.page_bytes)
-                self.stats.clean_pages_moved += 1
-                self.stats.flash_pages_programmed += 1
             elif old_row >= 0 and home_el.page_state[old_row, home_local] == PageState.VALID:
-                home_el.copy_page(
-                    old_row, home_local, new_row, home_local, slot, tag=TAG_CLEAN
+                new_row = self._merge_copy(
+                    gang, home_el, old_row, home_local, new_row, home_local, slot
                 )
-                self.stats.clean_pages_moved += 1
                 self.stats.clean_time_us += timing.copy_us(geom.page_bytes)
-                self.stats.flash_pages_programmed += 1
 
         self._maps[gang][slot] = new_row
         if old_row >= 0:
             self._retire_row(gang, old_row)
+
+    def _merge_copy(
+        self,
+        gang: int,
+        src_el: FlashElement,
+        src_row: int,
+        src_local: int,
+        new_row: int,
+        dst_local: int,
+        slot: int,
+    ) -> int:
+        """Copy one surviving page into the merge row, rescuing the row on
+        a program failure.  Returns the (possibly relocated) merge row.
+        When the spare rows run out the page is lost: the source copy is
+        dropped so the stale row it lives in stays erasable."""
+        while not src_el.copy_page(
+            src_row, src_local, new_row, dst_local, slot, tag=TAG_CLEAN
+        ):
+            self.stats.program_failures += 1
+            rescued = self._relocate_row(gang, new_row)
+            if rescued < 0:
+                self.stats.failed_pages += 1
+                self._note_write_error()
+                src_el.invalidate_state(src_row, src_local)
+                return new_row
+            new_row = rescued
+        self.stats.clean_pages_moved += 1
+        self.stats.flash_pages_programmed += 1
+        return new_row
+
+    def _row_relocated(self, gang: int, old_row: int, new_row: int) -> None:
+        """A row moved wholesale (grown bad block): fix every log structure
+        that references it, then the block map (base)."""
+        rows = self._log_rows[gang]
+        for i, r in enumerate(rows):
+            if r == old_row:
+                rows[i] = new_row
+        contents = self._log_contents[gang]
+        if old_row in contents:
+            contents[new_row] = contents.pop(old_row)
+        index = self._log_index[gang]
+        for key, (lrow, lpos) in index.items():
+            if lrow == old_row:
+                index[key] = (new_row, lpos)
+        super()._row_relocated(gang, old_row, new_row)
 
     # ------------------------------------------------------------------
     # host interface
@@ -236,10 +281,10 @@ class HybridLogBlockFTL(StripeFTLBase):
                 el, local = self._element(gang, p)
                 if el.page_state[old_row, local] == PageState.VALID:
                     el.invalidate_state(old_row, local)
-            el, local = self._element(gang, p)
             join.expect()
-            el.program_page(new_row, local, slot, tag=tag, callback=join.child_done)
-            self.stats.flash_pages_programmed += 1
+            new_row = self._program_with_rescue(
+                gang, new_row, p, slot, tag, join.child_done
+            )
         self._maps[gang][slot] = new_row
         if old_row >= 0:
             self._retire_row(gang, old_row)
@@ -274,12 +319,19 @@ class HybridLogBlockFTL(StripeFTLBase):
                         self.stats.rmw_pages_read += 1
         self._invalidate_current(gang, slot, p)
         lrow, lpos = self._log_append_pos(gang)
-        el, local = self._element(gang, lpos)
         join.expect()
-        el.program_page(lrow, local, slot, tag=tag, callback=join.child_done)
-        self._log_index[gang][(slot, p)] = (lrow, lpos)
-        self._log_contents[gang][lrow].append((slot, p, lpos))
-        self.stats.flash_pages_programmed += 1
+        # the element is keyed by the log *position*, so the rescue helper
+        # gets lpos (not p); a relocation moves the whole log row and
+        # _row_relocated fixes the log structures that reference it
+        lrow = self._program_with_rescue(gang, lrow, lpos, slot, tag,
+                                         join.child_done)
+        el, local = self._element(gang, lpos)
+        if el.page_state[lrow, local] == PageState.VALID:
+            self._log_index[gang][(slot, p)] = (lrow, lpos)
+            self._log_contents[gang][lrow].append((slot, p, lpos))
+        # else: the rescue ran out of spare rows and the page burned in
+        # place — the data is lost (counted by the rescue helper) and the
+        # old copy was already invalidated above, so the page reads a hole
 
     def read(
         self,

@@ -34,7 +34,7 @@ from typing import Callable, List, Optional, Set
 import numpy as np
 
 from repro.flash.element import FlashElement, PageState
-from repro.flash.ops import TAG_HOST
+from repro.flash.ops import TAG_CLEAN, TAG_HOST
 from repro.ftl.base import (
     BaseFTL,
     DeviceFullError,
@@ -177,10 +177,80 @@ class PageMappedFTL(BaseFTL):
         return frontier, wp[frontier]
 
     def release_block(self, e_idx: int, block: int) -> None:
-        """Return an erased block to the pool (erase already completed)."""
+        """Return an erased block to the pool (erase already completed).
+
+        Retired blocks — failed erases and wear-out — never re-pool: the
+        element's spare area shrinks by the whole block, which is how grown
+        bad blocks eventually exhaust the spares."""
+        if self.elements[e_idx].retired[block]:
+            self.stats.blocks_retired += 1
+            self.alloc_epoch = _ALLOC_EPOCH()
+            return
         self._pool[e_idx].push(block)
         self._free[e_idx] += self.geometry.pages_per_block
         self.alloc_epoch = _ALLOC_EPOCH()
+
+    def retire_block(self, e_idx: int, block: int) -> None:
+        """Grow a bad block: remove *block* from circulation permanently.
+
+        Still-valid pages are rescued — copied to the frontier with fault
+        injection suspended, modelling the verified writes a controller
+        uses to save data off a failing block — so the mapping stays
+        intact.  Pages that cannot be rescued because the element is out
+        of spare pages stay readable in place (the map keeps pointing at
+        them); only new programs are forbidden."""
+        el = self.elements[e_idx]
+        if el.retired[block]:
+            return
+        el.retired[block] = True
+        self.stats.blocks_retired += 1
+        frontiers = self._frontier[e_idx]
+        for temp, frontier in list(frontiers.items()):
+            if frontier == block:
+                del frontiers[temp]
+                self._free[e_idx] -= self._ppb - int(el.write_ptr[block])
+        mapv = self._mapv[e_idx]
+        ppb = self._ppb
+        fm = el.fault_model
+        el.fault_model = None
+        try:
+            for page in np.nonzero(el.page_state[block] == PageState.VALID)[0]:
+                page = int(page)
+                slot = int(el.reverse_lpn[block, page])
+                try:
+                    dst_block, dst_page = self.allocate_page(e_idx, temp="hot")
+                except DeviceFullError:
+                    break  # unrescued pages stay readable in place
+                el.copy_page(block, page, dst_block, dst_page, slot,
+                             tag=TAG_CLEAN)
+                mapv[slot] = dst_block * ppb + dst_page
+                self.stats.rescued_pages += 1
+                self.stats.flash_pages_programmed += 1
+        finally:
+            el.fault_model = fm
+        self.alloc_epoch = _ALLOC_EPOCH()
+
+    def _program_redirect(self, e_idx: int, bad_block: int, slot: int,
+                          temp: str, tag: str, callback) -> int:
+        """A program on *bad_block* failed: retire it and redirect the page
+        to a fresh frontier page.  Returns the new ppn, or -1 when no spare
+        page could be allocated — the loss is counted, ``write_error`` is
+        raised for the host, and *callback* still fires."""
+        el = self.elements[e_idx]
+        stats = self.stats
+        while True:
+            stats.program_failures += 1
+            self.retire_block(e_idx, bad_block)
+            try:
+                block, page = self.allocate_page(e_idx, temp=temp)
+            except DeviceFullError:
+                stats.failed_pages += 1
+                self._note_write_error()
+                complete_async(self.sim, callback)
+                return -1
+            if el.program_page(block, page, slot, tag=tag, callback=callback):
+                return block * self._ppb + page
+            bad_block = block
 
     def note_wear_changed(self, e_idx: Optional[int] = None) -> None:
         """Re-key the free-block wear ordering of one element (or all).
@@ -249,10 +319,16 @@ class PageMappedFTL(BaseFTL):
                     stats.rmw_pages_read += 1
                 el.invalidate_state(old_block, old_page)
             new_block, new_page = self.allocate_page(e_idx, temp=temp)
-            el.program_page(new_block, new_page, slot, tag=tag,
-                            callback=callback)
-            mapv[slot] = new_block * ppb + new_page
-            stats.flash_pages_programmed += 1
+            if el.program_page(new_block, new_page, slot, tag=tag,
+                               callback=callback):
+                mapv[slot] = new_block * ppb + new_page
+                stats.flash_pages_programmed += 1
+            else:
+                ppn = self._program_redirect(e_idx, new_block, slot, temp,
+                                             tag, callback)
+                mapv[slot] = ppn  # -1: data lost, the slot reads as unwritten
+                if ppn >= 0:
+                    stats.flash_pages_programmed += 1
             stats.host_writes += 1
             self._maybe_clean(e_idx)
             return
@@ -306,11 +382,17 @@ class PageMappedFTL(BaseFTL):
                     el.invalidate_state(old_block, old_page)
                 new_block, new_page = allocate(e_idx, temp=temp)
                 expect()
-                el.program_page(
+                if el.program_page(
                     new_block, new_page, slot, tag=tag, callback=child_done
-                )
-                mapv[slot] = new_block * ppb + new_page
-                stats.flash_pages_programmed += 1
+                ):
+                    mapv[slot] = new_block * ppb + new_page
+                    stats.flash_pages_programmed += 1
+                else:
+                    ppn = self._program_redirect(e_idx, new_block, slot,
+                                                 temp, tag, child_done)
+                    mapv[slot] = ppn
+                    if ppn >= 0:
+                        stats.flash_pages_programmed += 1
                 touched.add(e_idx)
 
         stats.host_writes += 1
@@ -433,6 +515,8 @@ class PageMappedFTL(BaseFTL):
         return needed
 
     def can_accept_write(self, offset: int, size: int) -> bool:
+        if self.read_only:
+            return False
         lp = self.logical_page_bytes
         if self.shards == 1 and (offset % lp) + size <= lp:
             e_idx = (offset // lp) % self.n_gangs
@@ -441,6 +525,29 @@ class PageMappedFTL(BaseFTL):
             if self._free[e_idx] - count < self.reserve_pages:
                 return False
         return True
+
+    def write_wedged(self, offset: int, size: int) -> bool:
+        cleaner = self.cleaner
+        for e_idx, count in self.pages_needed(offset, size).items():
+            if self._free[e_idx] - count >= self.reserve_pages:
+                continue
+            if cleaner._no_space[e_idx]:
+                # a clean already died for want of a destination page
+                return True
+            if cleaner._active[e_idx]:
+                return False
+            victim = cleaner.select_victim(e_idx)
+            if victim < 0:
+                return True
+            if (self._free[e_idx] == 0
+                    and int(self.elements[e_idx].valid_count[victim]) > 0):
+                # a victim exists, but its valid pages have nowhere to go
+                # (greedy picks the min-valid candidate, so no victim is
+                # better); cleaning cannot free anything either
+                return True
+            # cleaning can still (eventually) raise the free count
+            return False
+        return False
 
     def ensure_space(self, offset: int, size: int) -> None:
         for e_idx, count in self.pages_needed(offset, size).items():

@@ -109,15 +109,32 @@ class WearLeveler:
         # shield the source from the cleaner until its erase completes
         ftl.cleaner.being_cleaned[e_idx].add(source)
         pages = np.nonzero(el.page_state[source] == 1)[0]
+        ppb = geom.pages_per_block
         dst_page = 0
         for page in pages:
             slot = int(el.reverse_lpn[source, page])
-            el.copy_page(source, int(page), dest, dst_page, slot, tag=TAG_WEAR)
+            while dst_page < ppb and not el.copy_page(
+                source, int(page), dest, dst_page, slot, tag=TAG_WEAR
+            ):
+                # fault injection burned the destination page; the source
+                # page is still valid — try the next destination position
+                ftl.stats.program_failures += 1
+                dst_page += 1
+            if dst_page >= ppb:
+                break
             ftl.map_for(e_idx)[slot] = geom.page_index(dest, dst_page)
             ftl.stats.wear_pages_moved += 1
             ftl.stats.flash_pages_programmed += 1
             dst_page += 1
         ftl.stats.wear_migrations += 1
+
+        if el.valid_count[source] != 0:
+            # burns ate the destination before every page made it out: the
+            # source still holds valid data and cannot be erased — abandon
+            # the migration (the cleaner reclaims both blocks later)
+            ftl.cleaner.being_cleaned[e_idx].discard(source)
+            self._migrating[e_idx] = False
+            return
 
         def _done(now: float, e: int = e_idx, b: int = source) -> None:
             ftl.cleaner.being_cleaned[e].discard(b)
@@ -125,4 +142,7 @@ class WearLeveler:
             self._migrating[e] = False
             ftl._space_freed()
 
-        el.erase_block(source, tag=TAG_WEAR, callback=_done)
+        if not el.erase_block(source, tag=TAG_WEAR, callback=_done):
+            # grown bad block: _done still fires and release_block keeps
+            # the retired source out of the pool
+            ftl.stats.erase_failures += 1

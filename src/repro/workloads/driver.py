@@ -96,9 +96,18 @@ class WorkloadResult:
     def _recorder(self, predicate: Callable[[Completion], bool]) -> LatencyRecorder:
         recorder = LatencyRecorder()
         for completion in self.completions:
-            if predicate(completion):
+            if completion.error is None and predicate(completion):
                 recorder.record(completion.response_us)
         return recorder
+
+    @property
+    def errors(self) -> Dict[str, int]:
+        """Error completions by kind (empty when every request succeeded)."""
+        counts: Dict[str, int] = {}
+        for completion in self.completions:
+            if completion.error is not None:
+                counts[completion.error] = counts.get(completion.error, 0) + 1
+        return counts
 
     def latency(
         self,
@@ -174,9 +183,17 @@ class StreamingResult:
         #: path calls the leaf adders directly instead of walking the
         #: aggregate -> recorder -> sketch/reservoir attribute chain
         self._fast: Dict[Tuple[OpType, bool], tuple] = {}
+        #: error completions by kind (e.g. {"readonly": 12})
+        self.errors: Dict[str, int] = {}
         self.elapsed_us = 0.0
 
     def record(self, request: IORequest) -> None:
+        error = request.error
+        if error is not None:
+            # errored requests move no data and carry no meaningful
+            # latency; tally them separately
+            self.errors[error] = self.errors.get(error, 0) + 1
+            return
         key = (request.op, request.priority > 0)
         entry = self._fast.get(key)
         if entry is None:
