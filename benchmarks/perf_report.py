@@ -7,7 +7,15 @@ achieved).  Exits nonzero when:
 * throughput regressed more than ``--threshold`` (default 20%) on any
   scenario, or
 * the behaviour fingerprint (final simulated clock, op counts, FTL stats)
-  diverged — a "fast but wrong" change is a regression too.
+  diverged — a "fast but wrong" change is a regression too, or
+* the heap-event count grew past the committed per-scenario budget
+  (``events`` / ``events_per_record``) — the event count is deterministic,
+  so any growth is a real cost regression on the hot loop.
+
+``--profile`` additionally cProfiles every scenario and writes a top-N
+cumulative-time report plus the per-scenario event-budget table to
+``BENCH_PROFILE.txt`` next to ``BENCH_CORE.json`` (CI uploads it as an
+artifact).
 
 Two committed entries exist:
 
@@ -48,15 +56,58 @@ _METRICS = ("ops_per_s", "events_per_s")
 #: fingerprint fields that must match exactly.  ``prefill_digest`` is the
 #: setup scenario's FTL-state CRC, and the ``fault_*``/retirement/retry
 #: counters belong to ``fault_soak``; fields absent from a scenario
-#: compare equal when missing on both sides.
+#: compare equal when missing on both sides.  ``events`` is deliberately
+#: *not* here: the heap-event count is an implementation cost, not
+#: simulated behaviour, and perf PRs shrink it.  It is gated separately as
+#: a one-sided per-record budget (growth fails, shrinkage is the point).
 _FINGERPRINT = (
     "final_clock_us", "host_writes", "host_reads", "flash_pages_programmed",
-    "clean_pages_moved", "clean_erases", "clean_time_us", "ops", "events",
+    "clean_pages_moved", "clean_erases", "clean_time_us", "ops",
     "prefill_digest",
     "fault_program_failures", "fault_erase_failures", "fault_read_transients",
     "blocks_retired", "rescued_pages", "failed_pages", "read_retries",
     "write_retries", "requests_failed", "error_completions",
 )
+
+#: file the ``--profile`` run writes next to BENCH_CORE.json
+PROFILE_REPORT = BENCH_CORE.with_name("BENCH_PROFILE.txt")
+
+
+def _events_per_record(result) -> float:
+    ops = result.get("ops") or 0
+    return result["events"] / ops if ops else 0.0
+
+
+def _write_profile_report(scale: float, fresh: dict, top_n: int = 25) -> None:
+    """Profile each scenario (one repetition) and write a cProfile top-N
+    plus the per-scenario event-budget table alongside BENCH_CORE.json."""
+    import cProfile
+    import io
+    import pstats
+
+    from benchmarks.bench_hotpath import SCENARIOS, run_scenario
+
+    lines = [f"hotpath profile, scale {scale} (top {top_n} by cumulative time)",
+             ""]
+    lines.append(f"{'scenario':16s} {'ops':>10s} {'events':>10s} "
+                 f"{'events/rec':>10s}")
+    for name, result in fresh.items():
+        lines.append(f"{name:16s} {result['ops']:10d} {result['events']:10d} "
+                     f"{_events_per_record(result):10.3f}")
+    lines.append("")
+    for name in SCENARIOS:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_scenario(name, scale, repeat=1)
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(top_n)
+        lines.append(f"=== {name} ===")
+        lines.append(buffer.getvalue().rstrip())
+        lines.append("")
+    PROFILE_REPORT.write_text("\n".join(lines) + "\n")
+    print(f"profile written to {PROFILE_REPORT}")
 
 
 def main(argv=None) -> int:
@@ -72,6 +123,10 @@ def main(argv=None) -> int:
                         help="BENCH_CORE.json entry to compare against "
                              "(default: 'fast' when REPRO_BENCH_FAST=1, "
                              "else 'current')")
+    parser.add_argument("--profile", action="store_true",
+                        help="additionally cProfile each scenario and write "
+                             f"a top-N report to {PROFILE_REPORT.name} "
+                             "alongside BENCH_CORE.json")
     args = parser.parse_args(argv)
 
     entry_name = args.entry
@@ -126,6 +181,25 @@ def main(argv=None) -> int:
                         f"{ref.get(field)!r} -> {now.get(field)!r} "
                         "(simulated behaviour changed!)"
                     )
+            # one-sided event budget: a perf change may shrink the heap
+            # traffic needed to simulate the same behaviour, never grow it
+            budget, spent = ref.get("events"), now.get("events")
+            if budget is not None and spent is not None:
+                flag = ""
+                if spent > budget:
+                    flag = "  << OVER BUDGET"
+                    failures.append(
+                        f"{name}.events grew over budget: {budget} -> {spent} "
+                        f"({_events_per_record(ref):.3f} -> "
+                        f"{_events_per_record(now):.3f} events/record)"
+                    )
+                print(f"{name:16s} {'events/rec':12s} "
+                      f"{_events_per_record(ref):12.3f} "
+                      f"{_events_per_record(now):12.3f} "
+                      f"{'budget':>8s}{flag}")
+
+    if args.profile:
+        _write_profile_report(scale, fresh)
 
     if failures:
         print("\nFAIL:")
@@ -133,7 +207,7 @@ def main(argv=None) -> int:
             print(f"  - {failure}")
         return 1
     print(f"\nOK: within {args.threshold:.0%} of the committed baseline, "
-          "fingerprints identical")
+          "fingerprints identical, event budgets held")
     return 0
 
 

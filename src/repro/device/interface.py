@@ -279,7 +279,7 @@ class DeviceStats:
         if streaming:
             # distinct seeds: each recorder's reservoir samples its own
             # stream deterministically
-            make = [StreamingLatencyRecorder(seed=0x5EED + i)
+            make = [StreamingLatencyRecorder(seed=0x5EED + i, buffered=True)
                     for i in range(4)]
         else:
             make = [LatencyRecorder() for _ in range(4)]

@@ -130,6 +130,10 @@ class SSD:
         #: fresh bound method per insert is an allocation per write)
         self._complete_b = self._complete
         self._stats_record = self._stats.record
+        #: write-back-cache predicate hoisted off the buffer (per-write
+        #: getattr otherwise; the buffer's ack policy is construction-fixed)
+        self._ack_on_insert = (
+            getattr(self.write_buffer, "ack", None) == "insert")
 
         self.ftl.priority_probe = lambda: self._pending_priority
         self.ftl.on_space_freed = self._space_freed
@@ -177,8 +181,15 @@ class SSD:
             ev = request._ev
             if ev is None or ev.fn.__self__ is not self:
                 ev = self._build_dispatch_event(request)
-            sim = self.sim
-            sim.reschedule(ev, sim.now + self._overhead_us)
+            if request.op is OpType.WRITE:
+                # fused hop: the controller-overhead event and the link
+                # delivery collapse into one scheduled event (see
+                # _arm_dispatch)
+                self.link.transfer_after(
+                    self._overhead_us, request.size, request._cbs[0])
+            else:
+                sim = self.sim
+                sim.reschedule(ev, sim.now + self._overhead_us)
             return
         self.queue.append(request)
         self.scheduler.on_submit(request, self)
@@ -277,20 +288,34 @@ class SSD:
             self._arm_dispatch(request)
 
     def _arm_dispatch(self, request: IORequest) -> None:
-        """Schedule the controller-overhead hop for a dispatched request.
+        """Start the controller-overhead hop for a dispatched request.
 
-        The hop rides the request's reusable dispatch event (allocated once
-        per pooled request per device) instead of a fresh Event per
-        dispatch; a request dispatches at most once per queue residency, so
-        the event is always free here.  The per-device completion adapters
-        (``_cbs``) are built in the same breath, so the whole dispatch
-        chain reuses closures too.
+        WRITEs fuse the hop into the host-link reservation
+        (:meth:`repro.sim.resource.SerialResource.transfer_after`): the
+        hop's only job was to call ``link.transfer`` at ``now +
+        overhead``, so the link records the delayed reservation directly —
+        same queueing position, same clock stamps — and one scheduled
+        event covers overhead + transfer where the seed used two.
+
+        READs (and FREE/FLUSH) keep the discrete hop: their dispatch
+        instant consults FTL mapping state and claims element-FIFO
+        positions, which cannot be deferred.  The hop rides the request's
+        reusable dispatch event (allocated once per pooled request per
+        device) instead of a fresh Event per dispatch; a request
+        dispatches at most once per queue residency, so the event is
+        always free here.  The per-device completion adapters (``_cbs``)
+        are built in the same breath, so the whole dispatch chain reuses
+        closures too.
         """
         ev = request._ev
         if ev is None or ev.fn.__self__ is not self:
             ev = self._build_dispatch_event(request)
-        sim = self.sim
-        sim.reschedule(ev, sim.now + self._overhead_us)
+        if request.op is OpType.WRITE:
+            self.link.transfer_after(
+                self._overhead_us, request.size, request._cbs[0])
+        else:
+            sim = self.sim
+            sim.reschedule(ev, sim.now + self._overhead_us)
 
     def _build_dispatch_event(self, request: IORequest) -> Event:
         """Bind the reusable dispatch event + completion adapters (cold
@@ -333,7 +358,7 @@ class SSD:
         immediately; otherwise the slot is held until the media completes,
         as with real NCQ commands.
         """
-        if getattr(self.write_buffer, "ack", None) == "insert":
+        if self._ack_on_insert:
             request.early_release = True
             self.write_buffer.insert(request, complete=self._complete_b)
             self._release_slot()

@@ -76,6 +76,15 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
+        #: sequence number of the callback currently executing.  Together
+        #: with :attr:`now`, this is the loop's exact position in the global
+        #: ``(time, seq)`` order — consumers that replay deferred work in
+        #: merged order (:class:`repro.sim.resource.SerialResource`'s fused
+        #: reservations) compare against it to decide what logically
+        #: precedes the running callback.  Outside a callback it holds the
+        #: last executed rank (before any event runs: the front-lane base,
+        #: which nothing precedes).
+        self.now_seq: int = _FRONT_SEQ_BASE
         self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
         self._front_seq: int = _FRONT_SEQ_BASE
@@ -203,13 +212,14 @@ class Simulator:
         """Run the next pending event.  Returns False if the queue is empty."""
         heap = self._heap
         while heap:
-            time_us, _seq, event = heapq.heappop(heap)
+            time_us, seq, event = heapq.heappop(heap)
             if not event.alive:
                 continue
             self.now = time_us
             event.alive = False
             self._alive -= 1
             self._events_run += 1
+            self.now_seq = seq
             event.fn(*event.args)
             return True
         return False
@@ -227,20 +237,36 @@ class Simulator:
         if until_us is None and max_events is None:
             # hot path: drain everything, no bound checks per iteration
             while heap:
-                time_us, _seq, event = pop(heap)
+                time_us, seq, event = pop(heap)
                 if not event.alive:
                     continue
                 self.now = time_us
                 event.alive = False
                 self._alive -= 1
+                self.now_seq = seq
                 event.fn(*event.args)
                 ran += 1
+                # same-instant micro-batch: the rest of an identical-time
+                # group (batched submissions arrive in bursts) drains here
+                # without touching the clock again.  Callbacks that
+                # schedule back into the running instant push into the
+                # heap and are picked up by the same drain, so execution
+                # stays in exact (time, seq) order.
+                while heap and heap[0][0] == time_us:
+                    _t, seq, event = pop(heap)
+                    if not event.alive:
+                        continue
+                    event.alive = False
+                    self._alive -= 1
+                    self.now_seq = seq
+                    event.fn(*event.args)
+                    ran += 1
             self._events_run += ran
             return ran
         while heap:
             if max_events is not None and ran >= max_events:
                 break
-            time_us, _seq, event = heap[0]
+            time_us, seq, event = heap[0]
             if not event.alive:
                 pop(heap)
                 continue
@@ -250,6 +276,7 @@ class Simulator:
             self.now = time_us
             event.alive = False
             self._alive -= 1
+            self.now_seq = seq
             event.fn(*event.args)
             ran += 1
         if until_us is not None and self.now < until_us:

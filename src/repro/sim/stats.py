@@ -26,9 +26,17 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+import numpy as np
+
 #: bound once — the sketch/reservoir adds run once per replayed record
 _ceil = math.ceil
 _log = math.log
+_nextafter = math.nextafter
+
+#: buffered recorders flush through the numpy batch kernels at this many
+#: samples (a few replay windows' worth: big enough to amortize the numpy
+#: call overhead, small enough to keep buffers trivially bounded)
+FLUSH_THRESHOLD = 4096
 
 __all__ = [
     "RunningStats",
@@ -38,6 +46,7 @@ __all__ = [
     "QuantileSketch",
     "ReservoirSampler",
     "ClassAggregate",
+    "FLUSH_THRESHOLD",
     "Counter",
     "Histogram",
     "BandwidthMeter",
@@ -182,7 +191,7 @@ class QuantileSketch:
     """
 
     __slots__ = ("alpha", "_gamma", "_log_gamma", "_floor", "_buckets",
-                 "count", "sum", "min", "max", "_zero_count")
+                 "count", "sum", "min", "max", "_zero_count", "_boundaries")
 
     def __init__(self, alpha: float = 0.01, floor: float = 1e-3) -> None:
         if not 0.0 < alpha < 1.0:
@@ -200,6 +209,10 @@ class QuantileSketch:
         self.min = math.inf
         self.max = -math.inf
         self._zero_count = 0
+        #: lazily-built bucket upper boundaries for the batch path (see
+        #: :meth:`add_many`); ``_boundaries[k]`` is the largest double that
+        #: the scalar formula maps to bucket ``k``
+        self._boundaries: Optional[np.ndarray] = None
 
     def add(self, value: float) -> None:
         if value < 0.0:
@@ -214,6 +227,88 @@ class QuantileSketch:
             self._zero_count += 1
             return
         self._buckets[_ceil(_log(value / self._floor) / self._log_gamma)] += 1
+
+    # -- batch path --------------------------------------------------------
+
+    def _scalar_index(self, value: float) -> int:
+        """The scalar bucket formula, factored for the boundary builder."""
+        return _ceil(_log(value / self._floor) / self._log_gamma)
+
+    def _grow_boundaries(self, vmax: float) -> np.ndarray:
+        """(Re)build the bucket-boundary table out to at least *vmax*.
+
+        ``np.log`` and ``math.log`` disagree by ULPs, so a vectorized
+        replay of the scalar ``ceil(log(v/floor)/log_gamma)`` would put
+        boundary-adjacent values in neighbouring buckets.  Instead the
+        batch path bisects against *boundaries*: the scalar index is a
+        monotone step function of the value (division, log, and ceil are
+        all monotone), so bucket ``k``'s upper edge is a concrete double —
+        seeded analytically at ``floor * gamma**k`` and corrected by a few
+        ``nextafter`` steps against the scalar formula itself.  A
+        ``searchsorted`` over the corrected edges then reproduces the
+        scalar bucketing bit-for-bit for every input.
+        """
+        old = self._boundaries
+        edges = [] if old is None else list(old)
+        index = self._scalar_index
+        floor = self._floor
+        gamma = self._gamma
+        k = len(edges)
+        while not edges or edges[-1] < vmax:
+            edge = floor * gamma ** k
+            while index(edge) > k:
+                edge = _nextafter(edge, 0.0)
+            while True:
+                up = _nextafter(edge, math.inf)
+                if index(up) <= k:
+                    edge = up
+                else:
+                    break
+            edges.append(edge)
+            k += 1
+        boundaries = np.asarray(edges, dtype=np.float64)
+        self._boundaries = boundaries
+        return boundaries
+
+    def add_many(self, values: "np.ndarray") -> None:
+        """Fold a batch of samples in — bit-identical buckets/min/max/count
+        to per-value :meth:`add` calls (the summary ``sum`` is accumulated
+        chunk-wise, so the mean can differ from the scalar path by float
+        associativity — well inside the sketch's own error).
+
+        Unlike :meth:`add`, a negative sample raises before *any* of the
+        batch is folded in.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        n = values.size
+        if n == 0:
+            return
+        vmin = values.min()
+        if vmin < 0.0:
+            raise ValueError(f"negative sample {vmin}")
+        vmax = values.max()
+        self.count += n
+        self.sum += float(values.sum())
+        if vmin < self.min:
+            self.min = float(vmin)
+        if vmax > self.max:
+            self.max = float(vmax)
+        floor = self._floor
+        if vmin < floor:
+            nonzero = values[values >= floor]
+            self._zero_count += n - nonzero.size
+            if nonzero.size == 0:
+                return
+        else:
+            nonzero = values
+        boundaries = self._boundaries
+        if boundaries is None or boundaries[-1] < vmax:
+            boundaries = self._grow_boundaries(float(vmax))
+        indices = np.searchsorted(boundaries, nonzero, side="left")
+        hit, counts = np.unique(indices, return_counts=True)
+        buckets = self._buckets
+        for k, c in zip(hit.tolist(), counts.tolist()):
+            buckets[k] += c
 
     @property
     def mean(self) -> float:
@@ -332,6 +427,95 @@ class ReservoirSampler:
             self._samples[self._rng.randrange(self.capacity)] = value
             self._draw_next_gap()
 
+    def add_many(self, values: "np.ndarray") -> None:
+        """Feed a batch through the reservoir — state- and RNG-identical
+        to per-value :meth:`add` calls.
+
+        Algorithm L's whole point is that most stream elements are never
+        looked at: the geometric skip says which positions are accepted,
+        so the batch path jumps straight to those indices.  The RNG call
+        sequence (one ``randrange`` + two ``random`` per accepted element;
+        nothing during fill) is exactly the scalar one, so a replay mixing
+        scalar and batch feeding of the same stream keeps the same sample.
+        """
+        n = len(values)
+        start = 0
+        samples = self._samples
+        capacity = self.capacity
+        if self._next == 0:
+            # filling: every element is taken verbatim, no draws
+            take = capacity - len(samples)
+            if take >= n:
+                samples.extend(values.tolist() if isinstance(values, np.ndarray)
+                               else values)
+                self.seen += n
+                if len(samples) == capacity:
+                    self._draw_next_gap()
+                return
+            head = values[:take]
+            samples.extend(head.tolist() if isinstance(head, np.ndarray)
+                           else head)
+            self.seen += take
+            start = take
+            self._draw_next_gap()
+        base = self.seen          # stream position of values[start - 1]
+        total = base + (n - start)
+        nxt = self._next
+        randrange = self._rng.randrange
+        while nxt <= total:
+            samples[randrange(capacity)] = float(values[start + nxt - base - 1])
+            self.seen = nxt
+            self._draw_next_gap()
+            nxt = self._next
+        self.seen = total
+
+    def merge(self, other: "ReservoirSampler") -> None:
+        """Fold another reservoir in, producing a uniform-ish sample of the
+        concatenated streams (capacities must match).
+
+        Each output slot draws its source side with probability
+        proportional to how many stream elements that side represents and
+        then takes a not-yet-used element of that side's sample — the
+        standard mergeable-reservoir scheme (per-slot Bernoulli in place
+        of the exact hypergeometric split; the difference is O(1/√k) on
+        the side counts and nothing downstream is that sharp).  Uses
+        *this* sampler's RNG, so a merge tree is deterministic per seed.
+        The merged sampler keeps accepting stream elements afterwards.
+        """
+        if other.capacity != self.capacity:
+            raise ValueError(
+                f"can only merge equal-capacity reservoirs "
+                f"({self.capacity} != {other.capacity})")
+        if other.seen == 0:
+            return
+        total = self.seen + other.seen
+        if total <= self.capacity:
+            # both sides are still exhaustive: so is the concatenation
+            self._samples.extend(other._samples)
+            self.seen = total
+            if len(self._samples) == self.capacity:
+                self._draw_next_gap()
+            return
+        rng = self._rng
+        a, b = list(self._samples), list(other._samples)
+        wa, wb = self.seen, other.seen
+        na, nb = len(a), len(b)
+        merged: List[float] = []
+        for _ in range(self.capacity):
+            if nb == 0 or (na > 0 and rng.random() * (wa + wb) < wa):
+                j = rng.randrange(na)
+                na -= 1
+                merged.append(a[j])
+                a[j] = a[na]
+            else:
+                j = rng.randrange(nb)
+                nb -= 1
+                merged.append(b[j])
+                b[j] = b[nb]
+        self._samples = merged
+        self.seen = total
+        self._draw_next_gap()
+
     def _draw_next_gap(self) -> None:
         """Draw the geometric gap to the next accepted stream element.
 
@@ -363,33 +547,71 @@ class StreamingLatencyRecorder:
     quantile sketch (relative error ``alpha``), and a seeded reservoir
     keeps a uniform raw sample.  See the module docstring for when to use
     which.
+
+    With ``buffered=True`` the recorder takes itself off the per-sample
+    path entirely: ``record`` appends to a flat float buffer, and the
+    buffer is flushed through the numpy batch kernels
+    (:meth:`QuantileSketch.add_many` / :meth:`ReservoirSampler.add_many`)
+    every :data:`FLUSH_THRESHOLD` samples and on any read.  Buckets,
+    extremes, counts, and the reservoir's sample/RNG stream are identical
+    to unbuffered recording — only the order in which the work is done
+    changes.  Reads (``count``/``samples``/``summary``) see a consistent
+    view: they fold the buffer first.
     """
 
-    __slots__ = ("sketch", "reservoir", "_sketch_add", "_reservoir_add")
+    __slots__ = ("sketch", "reservoir", "_sketch_add", "_reservoir_add",
+                 "buffer")
 
     def __init__(self, alpha: float = 0.01, reservoir_k: int = 1024,
-                 seed: int = 0x5EED) -> None:
+                 seed: int = 0x5EED, buffered: bool = False) -> None:
         self.sketch = QuantileSketch(alpha)
         self.reservoir = ReservoirSampler(reservoir_k, seed)
         # prebound: record() runs once per replayed request
         self._sketch_add = self.sketch.add
         self._reservoir_add = self.reservoir.add
+        #: pending raw samples when buffered, else None.  Hot callers may
+        #: append here directly and call :meth:`flush` at their own cadence
+        #: (the replay sinks do), as long as every read goes through the
+        #: recorder's API or flushes first.
+        self.buffer: Optional[List[float]] = [] if buffered else None
 
     def record(self, latency_us: float) -> None:
-        self._sketch_add(latency_us)
-        self._reservoir_add(latency_us)
+        buffer = self.buffer
+        if buffer is None:
+            self._sketch_add(latency_us)
+            self._reservoir_add(latency_us)
+        else:
+            buffer.append(latency_us)
+            if len(buffer) >= FLUSH_THRESHOLD:
+                self.flush()
+
+    def flush(self) -> None:
+        """Fold any buffered samples into the sketch and reservoir."""
+        buffer = self.buffer
+        if buffer:
+            batch = np.asarray(buffer, dtype=np.float64)
+            self.sketch.add_many(batch)
+            self.reservoir.add_many(batch)
+            buffer.clear()
 
     @property
     def count(self) -> int:
+        buffer = self.buffer
+        if buffer:
+            return self.sketch.count + len(buffer)
         return self.sketch.count
 
     @property
     def samples(self) -> List[float]:
         """Reservoir sample (uniform, not exhaustive — unlike
         :attr:`LatencyRecorder.samples`)."""
+        if self.buffer:
+            self.flush()
         return self.reservoir.samples
 
     def summary(self) -> LatencySummary:
+        if self.buffer:
+            self.flush()
         return self.sketch.summary()
 
 
@@ -404,9 +626,10 @@ class ClassAggregate:
     __slots__ = ("bytes", "latencies", "_record")
 
     def __init__(self, alpha: float = 0.01, reservoir_k: int = 1024,
-                 seed: int = 0x5EED) -> None:
+                 seed: int = 0x5EED, buffered: bool = False) -> None:
         self.bytes = 0
-        self.latencies = StreamingLatencyRecorder(alpha, reservoir_k, seed)
+        self.latencies = StreamingLatencyRecorder(alpha, reservoir_k, seed,
+                                                  buffered=buffered)
         self._record = self.latencies.record
 
     def add(self, latency_us: float, nbytes: int) -> None:

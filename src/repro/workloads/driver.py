@@ -61,17 +61,18 @@ identical either way — only what is retained about it changes.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from heapq import heappush, heappop, heapreplace
+from heapq import heapify, heappop, heapreplace
 from itertools import islice
-from typing import (Callable, Dict, Iterable, List, Optional, Protocol,
+from typing import (Callable, Deque, Dict, Iterable, List, Optional, Protocol,
                     Tuple, Union)
 
 from repro.device.interface import (Completion, IORequest, IORequestPool,
                                     OpType)
 from repro.sim.engine import Event, Simulator
-from repro.sim.stats import (ClassAggregate, LatencyRecorder, LatencySummary,
-                             QuantileSketch)
+from repro.sim.stats import (ClassAggregate, FLUSH_THRESHOLD, LatencyRecorder,
+                             LatencySummary, QuantileSketch)
 from repro.traces.record import TraceOp, TraceRecord
 from repro.units import mb_per_s
 
@@ -179,9 +180,11 @@ class StreamingResult:
         self._reservoir_k = reservoir_k
         self._seed = seed
         self._classes: Dict[Tuple[OpType, bool], ClassAggregate] = {}
-        #: key -> (aggregate, sketch.add, reservoir.add): the record() hot
-        #: path calls the leaf adders directly instead of walking the
-        #: aggregate -> recorder -> sketch/reservoir attribute chain
+        #: key -> (aggregate, buffer, recorder.flush): the record() hot
+        #: path appends the raw latency to the class recorder's flat
+        #: buffer and lets the numpy batch kernels fold a whole window at
+        #: once (buckets/sample identical to per-add recording; see
+        #: :class:`repro.sim.stats.StreamingLatencyRecorder`)
         self._fast: Dict[Tuple[OpType, bool], tuple] = {}
         #: error completions by kind (e.g. {"readonly": 12})
         self.errors: Dict[str, int] = {}
@@ -200,17 +203,24 @@ class StreamingResult:
             class_seed = (self._seed * 31
                           + self._OP_ORDER[request.op] * 2 + key[1])
             aggregate = self._classes[key] = ClassAggregate(
-                self._alpha, self._reservoir_k, class_seed
+                self._alpha, self._reservoir_k, class_seed, buffered=True
             )
             latencies = aggregate.latencies
             entry = self._fast[key] = (
-                aggregate, latencies.sketch.add, latencies.reservoir.add
+                aggregate, latencies.buffer, latencies.flush
             )
-        aggregate, sketch_add, reservoir_add = entry
-        latency = request.complete_us - request.submit_us
+        aggregate, buffer, flush = entry
         aggregate.bytes += request.size
-        sketch_add(latency)
-        reservoir_add(latency)
+        buffer.append(request.complete_us - request.submit_us)
+        if len(buffer) >= FLUSH_THRESHOLD:
+            flush()
+
+    def finalize(self) -> None:
+        """Fold any buffered samples into the sketches/reservoirs.  The
+        drivers call this when a replay drains; reads through the recorder
+        API flush on their own, so calling it is belt-and-braces."""
+        for aggregate in self._classes.values():
+            aggregate.latencies.flush()
 
     # -- the WorkloadResult query API ------------------------------------
 
@@ -239,6 +249,7 @@ class StreamingResult:
             return matched[0].latencies.summary()
         merged = QuantileSketch(self._alpha)
         for aggregate in matched:
+            aggregate.latencies.flush()
             merged.merge(aggregate.latencies.sketch)
         return merged.summary()
 
@@ -332,15 +343,22 @@ def replay_trace(
         if window <= 0:
             raise ValueError(f"window must be positive or None, got {window}")
         # Streaming core: the window of upcoming records lives in a local
-        # (time, feed-order, record) heap and ONE reusable front-lane event
-        # stays armed at the head record's timestamp.  Firing submits every
-        # record due at that instant — back-to-back front-lane events at one
-        # timestamp admit nothing between them, so folding the group into
-        # one firing preserves the exact pre-scheduling order — then re-arms
-        # at the new head.  The simulator heap holds O(1) replay entries
-        # instead of O(window), each record costs one local heap push/pop
-        # (cheap tuples, no Event allocation), and groups of same-instant
-        # records ride the device's batched front door when it has one.
+        # (time, feed-order, record) structure and ONE reusable front-lane
+        # event stays armed at the head record's timestamp.  Firing submits
+        # every record due at that instant — back-to-back front-lane events
+        # at one timestamp admit nothing between them, so folding the group
+        # into one firing preserves the exact pre-scheduling order — then
+        # re-arms at the new head.  The simulator heap holds O(1) replay
+        # entries instead of O(window), and groups of same-instant records
+        # ride the device's batched front door when it has one.
+        #
+        # Traces are overwhelmingly time-sorted (generators emit monotone
+        # timestamps), so the window starts as a plain deque — one tail
+        # compare plus append/popleft per record, no O(log window) sifts —
+        # and degrades to a binary heap the first time a record lands
+        # behind the window tail.  A time-sorted, feed-ordered tuple list
+        # is already a valid min-heap, so degrading is a copy, not a sort,
+        # and submission order is identical in both modes.
         def unsorted_error(at: float, now: float) -> ValueError:
             return ValueError(
                 f"trace timestamps unsorted beyond the replay window "
@@ -349,14 +367,25 @@ def replay_trace(
             )
 
         iterator = iter(records)
+        buffer: Deque[tuple] = deque()
         heap: List[tuple] = []
+        use_heap = False
         n = 0
+        last_at = -1.0  # timestamps are >= sim.now >= 0
         for record in islice(iterator, window):
             at = start + record.time_us * time_scale
             if at < sim.now:
                 raise unsorted_error(at, sim.now)
-            heappush(heap, (at, n, record))
+            if at < last_at:
+                use_heap = True
+            else:
+                last_at = at
+            buffer.append((at, n, record))
             n += 1
+        if use_heap:
+            heap = list(buffer)
+            buffer.clear()
+            heapify(heap)
         device_submit = device.submit
         submit_batch = getattr(device, "submit_batch", None)
         feeder = Event(0.0, 0, None, ())
@@ -364,33 +393,56 @@ def replay_trace(
         rearm = sim.reschedule_at_front
 
         def fire(heappop=heappop, heapreplace=heapreplace) -> None:
-            nonlocal n
+            nonlocal n, use_heap
             now = sim.now
             batch: Optional[List[TraceRecord]] = None
-            # pop the due head with its refill fused in: heapreplace does
-            # one sift where pop-then-push would do two (one refill per
+            window_q = heap if use_heap else buffer
+            # pop the due head with its refill fused in (one refill per
             # popped record keeps the window full; record generators are
-            # pure, so pulling just before the pop is unobservable)
+            # pure, so pulling just before the pop is unobservable).  In
+            # heap mode heapreplace does one sift where pop-then-push
+            # would do two.
             nxt = next(iterator, None)
             if nxt is None:
-                record = heappop(heap)[2]
+                record = (heappop(heap) if use_heap else buffer.popleft())[2]
             else:
                 at = start + nxt.time_us * time_scale
                 if at < now:
                     raise unsorted_error(at, now)
-                record = heapreplace(heap, (at, n, nxt))[2]
+                if use_heap:
+                    record = heapreplace(heap, (at, n, nxt))[2]
+                elif not buffer or at >= buffer[-1][0]:
+                    buffer.append((at, n, nxt))
+                    record = buffer.popleft()[2]
+                else:
+                    use_heap = True
+                    heap[:] = buffer
+                    buffer.clear()
+                    window_q = heap
+                    record = heapreplace(heap, (at, n, nxt))[2]
                 n += 1
-            while heap and heap[0][0] <= now:
+            while window_q and window_q[0][0] <= now:
                 if batch is None:
                     batch = [record]
                 nxt = next(iterator, None)
                 if nxt is None:
-                    batch.append(heappop(heap)[2])
+                    batch.append(
+                        (heappop(heap) if use_heap else buffer.popleft())[2])
                 else:
                     at = start + nxt.time_us * time_scale
                     if at < now:
                         raise unsorted_error(at, now)
-                    batch.append(heapreplace(heap, (at, n, nxt))[2])
+                    if use_heap:
+                        batch.append(heapreplace(heap, (at, n, nxt))[2])
+                    elif not buffer or at >= buffer[-1][0]:
+                        buffer.append((at, n, nxt))
+                        batch.append(buffer.popleft()[2])
+                    else:
+                        use_heap = True
+                        heap[:] = buffer
+                        buffer.clear()
+                        window_q = heap
+                        batch.append(heapreplace(heap, (at, n, nxt))[2])
                     n += 1
             if batch is None:
                 device_submit(build(record))
@@ -401,14 +453,18 @@ def replay_trace(
                 else:
                     for request in requests:
                         device_submit(request)
-            if heap:
-                rearm(feeder, heap[0][0])
+            if window_q:
+                rearm(feeder, window_q[0][0])
 
         feeder.fn = fire
-        if heap:
-            sim.reschedule_at_front(feeder, heap[0][0])
+        if buffer or heap:
+            sim.reschedule_at_front(feeder, (heap if use_heap
+                                             else buffer)[0][0])
     sim.run_until_idle()
     result.elapsed_us = sim.now - start
+    finalize = getattr(result, "finalize", None)
+    if finalize is not None:
+        finalize()
     return result
 
 

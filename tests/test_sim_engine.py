@@ -175,3 +175,147 @@ def test_reschedule_into_past_rejected():
     event = Event(0.0, -1, lambda: None, ())
     with pytest.raises(SimulationError):
         sim.reschedule(event, 5.0)
+
+
+# -- same-instant ordering properties ------------------------------------
+#
+# The run() hot path drains identical-timestamp groups in an inner
+# micro-batch loop without re-storing the clock; these properties pin the
+# contract it must preserve: execution follows exact (time, seq) order
+# across all three sequencing lanes — normal schedule(), the front lane
+# (schedule_at_front / reschedule_at_front), and reserved sequence numbers
+# armed later via reschedule(seq=...).
+
+
+def _random_program(seed, drain):
+    """Build one simulator with a randomized same-instant-heavy schedule
+    and return the observed execution order as (time, label) pairs."""
+    import random
+
+    rng = random.Random(seed)
+    sim = Simulator()
+    order = []
+    times = [float(rng.randrange(0, 6)) for _ in range(40)]
+
+    expected_rank = {}
+    for i, time_us in enumerate(times):
+        label = f"e{i}"
+        lane = rng.randrange(3)
+        if lane == 0:
+            event = sim.schedule_at(time_us, order.append, label)
+        elif lane == 1:
+            event = sim.schedule_at_front(time_us, order.append, label)
+        else:
+            from repro.sim.engine import Event
+
+            seq = sim.reserve_seq()
+            event = Event(0.0, 0, order.append, (label,))
+            event.alive = False
+            sim.reschedule(event, time_us, seq=seq)
+        expected_rank[label] = (event.time, event.seq)
+    drain(sim)
+    return order, expected_rank, sim
+
+
+def _expected(order, expected_rank):
+    return sorted(order, key=expected_rank.__getitem__)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_same_instant_order_is_time_seq_across_all_lanes(seed):
+    order, rank, _ = _random_program(seed, lambda sim: sim.run_until_idle())
+    assert order == _expected(order, rank)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_hot_run_loop_matches_step_loop(seed):
+    hot, _, _ = _random_program(seed, lambda sim: sim.run_until_idle())
+
+    def step_all(sim):
+        while sim.step():
+            pass
+
+    stepped, _, _ = _random_program(seed, step_all)
+    assert hot == stepped
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_hot_run_loop_matches_bounded_run(seed):
+    hot, _, _ = _random_program(seed, lambda sim: sim.run_until_idle())
+    bounded, _, _ = _random_program(seed, lambda sim: sim.run(until_us=1e9))
+    assert hot == bounded
+
+
+def test_micro_batch_drain_sees_same_instant_children():
+    # a callback scheduling back into the running instant must run within
+    # the same drain, after every earlier same-time event (exact seq order)
+    sim = Simulator()
+    order = []
+
+    def parent(label):
+        order.append(label)
+        if label == "p0":
+            sim.schedule(0.0, order.append, "child-of-p0")
+
+    sim.schedule(5.0, parent, "p0")
+    sim.schedule(5.0, parent, "p1")
+    sim.schedule(5.0, parent, "p2")
+    sim.run_until_idle()
+    assert order == ["p0", "p1", "p2", "child-of-p0"]
+    assert sim.now == 5.0
+
+
+def test_front_lane_beats_normal_lane_scheduled_earlier():
+    sim = Simulator()
+    order = []
+    sim.schedule_at(3.0, order.append, "normal-first-scheduled")
+    sim.schedule_at_front(3.0, order.append, "front-last-scheduled")
+    sim.run_until_idle()
+    assert order == ["front-last-scheduled", "normal-first-scheduled"]
+
+
+def test_reserved_seq_beats_later_normal_seq_at_same_time():
+    from repro.sim.engine import Event
+
+    sim = Simulator()
+    order = []
+    reserved = sim.reserve_seq()          # drawn before the schedule below
+    sim.schedule_at(2.0, order.append, "drawn-second")
+    event = Event(0.0, 0, order.append, ("drawn-first-armed-last",))
+    event.alive = False
+    sim.reschedule(event, 2.0, seq=reserved)
+    sim.run_until_idle()
+    assert order == ["drawn-first-armed-last", "drawn-second"]
+
+
+def test_now_seq_tracks_running_callback():
+    sim = Simulator()
+    seen = []
+
+    def probe():
+        seen.append((sim.now, sim.now_seq))
+
+    e1 = sim.schedule_at(1.0, probe)
+    e2 = sim.schedule_at(1.0, probe)
+    e3 = sim.schedule_at_front(1.0, probe)
+    sim.run_until_idle()
+    assert seen == [(1.0, e3.seq), (1.0, e1.seq), (1.0, e2.seq)]
+
+
+def test_cancelled_events_skipped_inside_micro_batch():
+    sim = Simulator()
+    order = []
+    victim = sim.schedule_at(4.0, order.append, "victim")
+
+    def killer():
+        order.append("killer")
+        sim.cancel(victim)
+
+    sim.schedule_at(4.0, order.append, "a")
+    # killer was scheduled after 'a' but before 'victim'? No: victim drew
+    # the first seq, so cancel must happen from a front-lane event that
+    # runs before it within the same instant.
+    sim.schedule_at_front(4.0, killer)
+    sim.run_until_idle()
+    assert order == ["killer", "a"]
+    assert sim.pending == 0

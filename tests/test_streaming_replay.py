@@ -16,8 +16,10 @@ Pins the PR 3 contracts:
 
 from __future__ import annotations
 
+import math
 import random
 
+import numpy as np
 import pytest
 
 from repro.device.interface import OpType
@@ -162,6 +164,185 @@ class TestStreamingLatencyRecorder:
     def test_empty_summary_is_zeros(self):
         summary = StreamingLatencyRecorder().summary()
         assert summary.count == 0 and summary.mean_us == 0.0
+
+
+class TestQuantileSketchBatch:
+    """The numpy batch kernel must be *bit-identical* to scalar adds:
+    the perf-report fingerprints hash bucket contents, so an off-by-one-ULP
+    boundary would read as a behaviour change."""
+
+    def _values(self, n=20_000):
+        rng = random.Random(1234)
+        values = [rng.lognormvariate(4.0, 2.0) for _ in range(n)]
+        # adversarial points: zeros, sub-floor, exact powers of gamma
+        # (bucket edges), and huge outliers that force boundary regrowth
+        sketch = QuantileSketch()
+        gamma = sketch._gamma
+        values += [0.0, 1e-12, 5e-7, 1e9, 3.7e8]
+        values += [gamma ** k for k in range(0, 400, 17)]
+        rng.shuffle(values)
+        return values
+
+    def test_add_many_buckets_bit_identical_to_scalar(self):
+        values = self._values()
+        scalar, batched = QuantileSketch(), QuantileSketch()
+        for value in values:
+            scalar.add(value)
+        # uneven chunk sizes, including size-1 and empty
+        i, sizes = 0, [1, 0, 4096, 7, 1000, 3, len(values)]
+        for size in sizes:
+            batched.add_many(np.asarray(values[i:i + size], dtype=np.float64))
+            i += size
+        assert batched._buckets == scalar._buckets
+        assert batched._zero_count == scalar._zero_count
+        assert batched.count == scalar.count
+        assert batched.min == scalar.min
+        assert batched.max == scalar.max
+        assert batched.sum == pytest.approx(scalar.sum, rel=1e-12)
+        for q in (0.01, 0.5, 0.95, 0.999, 1.0):
+            assert batched.quantile(q) == scalar.quantile(q)
+
+    def test_add_many_interleaves_with_scalar_adds(self):
+        values = self._values(5000)
+        scalar, mixed = QuantileSketch(), QuantileSketch()
+        for value in values:
+            scalar.add(value)
+        mixed.add_many(np.asarray(values[:2000]))
+        for value in values[2000:2500]:
+            mixed.add(value)
+        mixed.add_many(np.asarray(values[2500:]))
+        assert mixed._buckets == scalar._buckets
+        assert mixed.count == scalar.count
+
+    def test_add_many_rejects_negative(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError):
+            sketch.add_many(np.asarray([1.0, -0.5, 2.0]))
+        # the failed batch must not have been partially folded
+        assert sketch.count == 0
+
+    def test_add_many_empty_is_noop(self):
+        sketch = QuantileSketch()
+        sketch.add_many(np.asarray([], dtype=np.float64))
+        assert sketch.count == 0
+
+
+class TestReservoirSamplerBatch:
+    def test_add_many_state_and_rng_identical_to_scalar(self):
+        rng = random.Random(77)
+        values = [rng.uniform(0.0, 1e6) for _ in range(30_000)]
+        scalar = ReservoirSampler(capacity=256, seed=9)
+        batched = ReservoirSampler(capacity=256, seed=9)
+        for value in values:
+            scalar.add(value)
+        i, sizes = 0, [100, 1, 156, 4096, 0, 5000, len(values)]
+        for size in sizes:
+            batched.add_many(np.asarray(values[i:i + size]))
+            i += size
+        assert batched.samples == scalar.samples
+        assert batched.seen == scalar.seen
+        # RNG call sequences were identical iff the continuations agree
+        for value in (1.5, 2.5, 3.5):
+            for _ in range(2000):
+                scalar.add(value)
+                batched.add(value)
+        assert batched.samples == scalar.samples
+
+    def test_add_many_fill_phase_is_verbatim(self):
+        reservoir = ReservoirSampler(capacity=16, seed=3)
+        reservoir.add_many(np.asarray([float(i) for i in range(10)]))
+        assert reservoir.samples == [float(i) for i in range(10)]
+        assert reservoir.seen == 10
+
+
+class TestReservoirSamplerMerge:
+    def test_merge_is_uniform_over_concatenation(self):
+        # merged sample's mean must track the combined stream's mean
+        # within reservoir sampling error (capacity 1024 => stderr ~ 1/32
+        # of the stream stddev); seeds make the check deterministic
+        rng = random.Random(5)
+        stream_a = [rng.gauss(100.0, 10.0) for _ in range(40_000)]
+        stream_b = [rng.gauss(300.0, 10.0) for _ in range(10_000)]
+        a = ReservoirSampler(capacity=1024, seed=1)
+        b = ReservoirSampler(capacity=1024, seed=2)
+        a.add_many(np.asarray(stream_a))
+        b.add_many(np.asarray(stream_b))
+        a.merge(b)
+        assert a.seen == 50_000
+        assert len(a.samples) == 1024
+        combined_mean = (sum(stream_a) + sum(stream_b)) / 50_000
+        sample_mean = sum(a.samples) / len(a.samples)
+        # stream stddev is ~87 (bimodal); 5 sigma of the sample mean
+        assert abs(sample_mean - combined_mean) < 5 * 87 / math.sqrt(1024)
+        # roughly 4/5 of the sample should come from the 4/5-weight side
+        from_a = sum(1 for s in a.samples if s < 200.0)
+        assert 0.7 < from_a / 1024 < 0.9
+
+    def test_merge_exhaustive_sides_concatenate(self):
+        a = ReservoirSampler(capacity=64, seed=1)
+        b = ReservoirSampler(capacity=64, seed=2)
+        for i in range(10):
+            a.add(float(i))
+        for i in range(20):
+            b.add(float(100 + i))
+        a.merge(b)
+        assert a.seen == 30
+        assert a.samples == ([float(i) for i in range(10)]
+                             + [float(100 + i) for i in range(20)])
+
+    def test_merge_deterministic_and_keeps_accepting(self):
+        def build():
+            a = ReservoirSampler(capacity=32, seed=11)
+            b = ReservoirSampler(capacity=32, seed=22)
+            a.add_many(np.asarray([float(i) for i in range(1000)]))
+            b.add_many(np.asarray([float(1000 + i) for i in range(1000)]))
+            a.merge(b)
+            for i in range(500):
+                a.add(float(2000 + i))
+            return a
+
+        x, y = build(), build()
+        assert x.samples == y.samples
+        assert x.seen == y.seen == 2500
+
+    def test_merge_empty_other_is_noop(self):
+        a = ReservoirSampler(capacity=8, seed=1)
+        a.add(1.0)
+        a.merge(ReservoirSampler(capacity=8, seed=2))
+        assert a.samples == [1.0] and a.seen == 1
+
+    def test_merge_rejects_capacity_mismatch(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(capacity=8).merge(ReservoirSampler(capacity=16))
+
+
+class TestBufferedRecorder:
+    def test_buffered_recorder_matches_scalar_bit_for_bit(self):
+        rng = random.Random(21)
+        values = [rng.lognormvariate(5.0, 1.5) for _ in range(20_000)]
+        values += [0.0] * 37
+        scalar = StreamingLatencyRecorder(seed=4)
+        buffered = StreamingLatencyRecorder(seed=4, buffered=True)
+        for value in values:
+            scalar.record(value)
+            buffered.record(value)
+        # count must see unflushed samples
+        assert buffered.count == scalar.count == len(values)
+        assert buffered.samples == scalar.samples
+        assert buffered.sketch._buckets == scalar.sketch._buckets
+        a, b = scalar.summary(), buffered.summary()
+        assert (a.count, a.max_us) == (b.count, b.max_us)
+        assert b.mean_us == pytest.approx(a.mean_us, rel=1e-9)
+        assert (a.p50_us, a.p95_us, a.p99_us) == (b.p50_us, b.p95_us, b.p99_us)
+
+    def test_flush_is_idempotent_and_buffer_drains(self):
+        recorder = StreamingLatencyRecorder(buffered=True)
+        recorder.record(5.0)
+        assert len(recorder.buffer) == 1
+        recorder.flush()
+        assert recorder.buffer == []
+        recorder.flush()
+        assert recorder.count == 1
 
 
 class _QueueHighWater:
