@@ -36,6 +36,20 @@ plus one robustness scenario through the same host path:
   bit-for-bit alongside the performance scenarios.  Faults stay off in
   every other scenario; their fingerprints do not move.
 
+plus three workload-zoo scenarios through :func:`replay_pattern` (the
+pattern-suite replay front end, PR 8):
+
+* ``pattern_mix``     — a three-phase composed suite (sequential sweep,
+  uniform random, strided) with barriers and an idle pause between
+  phases, so the barrier/drain/re-stamp machinery itself is on the gated
+  path.
+* ``zipf_hotcold``    — skewed addressing: a zipf(θ=1.1) phase then a
+  20/80 hot/cold phase, exercising the rank-table and two-range draw
+  paths under mixed reads/writes.
+* ``snake_trim``      — the creeping-window write+TRIM pattern against a
+  ``trim_enabled`` device; the fingerprint additionally pins ``trims``
+  and ``trimmed_pages``, gating the informed-cleaning path bit-for-bit.
+
 plus one setup-path scenario:
 
 * ``prefill``         — steady-state device aging
@@ -86,9 +100,13 @@ from repro.ftl.blockmap import BlockMappedFTL
 from repro.ftl.pagemap import PageMappedFTL
 from repro.ftl.prefill import prefill_pagemap, prefill_stripe_ftl
 from repro.sim.engine import Simulator
+from repro.traces.patterns import (PatternConfig, compose, iter_hot_cold,
+                                   iter_random, iter_sequential, iter_snake,
+                                   iter_strided, iter_zipf)
 from repro.traces.synthetic import (SyntheticConfig, generate_synthetic,
                                     iter_synthetic)
-from repro.workloads.driver import StreamingResult, replay_trace
+from repro.workloads.driver import (StreamingResult, replay_pattern,
+                                    replay_trace)
 
 BENCH_CORE = _ROOT / "BENCH_CORE.json"
 
@@ -100,6 +118,9 @@ _BASE_OPS = {
     "swtf_saturated": 8_000,
     "replay_10m": 100_000,
     "fault_soak": 20_000,
+    "pattern_mix": 24_000,
+    "zipf_hotcold": 24_000,
+    "snake_trim": 20_000,
     #: blocks per element for the prefill scenario (sizes the aged device)
     "prefill": 1_024,
 }
@@ -366,6 +387,97 @@ def _scenario_fault_soak(scale: float):
     return sim, device.ftl, runner
 
 
+class _PatternReplay(_SinkReplay):
+    """``replay_pattern``-into-a-sink adapter: same runner interface, but
+    the stream may carry :class:`Barrier`/:class:`Pause` control records."""
+
+    def run(self) -> None:
+        replay_pattern(self.sim, self.device, self.make_records(),
+                       sink=self.sink)
+
+
+def _scenario_pattern_mix(scale: float):
+    """Three-phase composed suite (see module docstring): sequential ->
+    random -> strided, a drain barrier plus a 2 ms idle pause between
+    phases, mixed reads and priority tagging on the random phase."""
+    total = max(1200, int(_BASE_OPS["pattern_mix"] * scale))
+    per_phase = total // 3
+    sim = Simulator()
+    device = s4slc_sim(sim, element_mb=8, scheduler="swtf", max_inflight=16,
+                       controller_overhead_us=5.0)
+    prefill_pagemap(device.ftl, 0.65, overwrite_fraction=0.10)
+    region = int(device.capacity_bytes * 0.5)
+    base = dict(count=per_phase, region_bytes=region, request_bytes=4096,
+                interarrival_max_us=80.0)
+
+    def make_records():
+        return compose(
+            iter_sequential(PatternConfig(**base, read_fraction=0.3,
+                                          seed=801)),
+            iter_random(PatternConfig(**base, read_fraction=0.5,
+                                      priority_fraction=0.1, seed=802)),
+            iter_strided(PatternConfig(**base, seed=803),
+                         stride_bytes=16 * 4096),
+            pause_us=2_000.0,
+        )
+
+    runner = _PatternReplay(sim, device, make_records, per_phase * 3)
+    return sim, device.ftl, runner
+
+
+def _scenario_zipf_hotcold(scale: float):
+    """Skewed addressing (see module docstring): a zipf(θ=1.1) phase then
+    a 20/80 hot/cold phase over the same region, mixed reads/writes."""
+    total = max(1200, int(_BASE_OPS["zipf_hotcold"] * scale))
+    per_phase = total // 2
+    sim = Simulator()
+    device = s4slc_sim(sim, element_mb=8, scheduler="swtf", max_inflight=16,
+                       controller_overhead_us=5.0)
+    prefill_pagemap(device.ftl, 0.65, overwrite_fraction=0.10)
+    region = int(device.capacity_bytes * 0.5)
+    base = dict(count=per_phase, region_bytes=region, request_bytes=4096,
+                read_fraction=0.4, interarrival_max_us=80.0)
+
+    def make_records():
+        return compose(
+            iter_zipf(PatternConfig(**base, seed=811), theta=1.1),
+            iter_hot_cold(PatternConfig(**base, seed=812),
+                          hot_space_fraction=0.2, hot_access_fraction=0.8),
+        )
+
+    runner = _PatternReplay(sim, device, make_records, per_phase * 2)
+    return sim, device.ftl, runner
+
+
+class _SnakeReplay(_PatternReplay):
+    """``snake_trim`` runner: the informed-cleaning counters join the
+    fingerprint (TRIM calls and pages invalidated by them)."""
+
+    def extra_fingerprint(self) -> Dict[str, int]:
+        stats = self.device.ftl.stats
+        return {"trims": stats.trims, "trimmed_pages": stats.trimmed_pages}
+
+
+def _scenario_snake_trim(scale: float):
+    """Creeping-window write+TRIM against a trim-processing device (see
+    module docstring): live data stays one window, every freed slot is a
+    cleaning copy the informed FTL never pays."""
+    count = max(1000, int(_BASE_OPS["snake_trim"] * scale))
+    sim = Simulator()
+    device = s4slc_sim(sim, element_mb=8, trim_enabled=True, max_inflight=16,
+                       controller_overhead_us=5.0)
+    region = (int(device.capacity_bytes * 0.5) // 4096) * 4096
+    window = (region // 4 // 4096) * 4096
+    config = PatternConfig(count=count, region_bytes=region,
+                           request_bytes=4096, interarrival_max_us=60.0,
+                           seed=821)
+    frees = max(0, count - window // 4096)
+    runner = _SnakeReplay(sim, device,
+                          lambda: iter_snake(config, window_bytes=window),
+                          count + frees)
+    return sim, device.ftl, runner
+
+
 def _state_crc(ftl, crc: int = 0) -> int:
     """CRC32 over the FTL's full logical/physical state (maps, page states,
     write pointers, erase counts).  Any behavioural change to prefill —
@@ -429,6 +541,9 @@ SCENARIOS: Dict[str, Callable[[float], tuple]] = {
     "swtf_saturated": _scenario_swtf_saturated,
     "replay_10m": _scenario_replay_10m,
     "fault_soak": _scenario_fault_soak,
+    "pattern_mix": _scenario_pattern_mix,
+    "zipf_hotcold": _scenario_zipf_hotcold,
+    "snake_trim": _scenario_snake_trim,
     "prefill": _scenario_prefill,
 }
 
@@ -498,6 +613,24 @@ def test_hotpath_fault_soak(benchmark):
     assert result["fault_program_failures"] > 0
     assert result["fault_read_transients"] > 0
     assert result["blocks_retired"] > 0
+
+
+def test_hotpath_pattern_mix(benchmark):
+    result = _bench(benchmark, "pattern_mix")
+    # all three phases flowed: reads (phases 1-2) and writes everywhere
+    assert result["host_reads"] > 0 and result["host_writes"] > 0
+
+
+def test_hotpath_zipf_hotcold(benchmark):
+    result = _bench(benchmark, "zipf_hotcold")
+    assert result["host_reads"] > 0 and result["host_writes"] > 0
+
+
+def test_hotpath_snake_trim(benchmark):
+    result = _bench(benchmark, "snake_trim")
+    # the snaking FREEs must reach the FTL as processed TRIMs
+    assert result["trims"] > 0
+    assert result["trimmed_pages"] > 0
 
 
 def test_hotpath_prefill(benchmark):

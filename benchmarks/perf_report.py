@@ -67,6 +67,7 @@ _FINGERPRINT = (
     "fault_program_failures", "fault_erase_failures", "fault_read_transients",
     "blocks_retired", "rescued_pages", "failed_pages", "read_retries",
     "write_retries", "requests_failed", "error_completions",
+    "trims", "trimmed_pages",
 )
 
 #: file the ``--profile`` run writes next to BENCH_CORE.json

@@ -1,8 +1,13 @@
-"""Trace model, serialization, and workload-specific generators."""
+"""Trace model, serialization, generators, pattern suite, and ingest."""
 
 from repro.traces.analysis import TraceProfile, analyze, sequentiality
 from repro.traces.record import TraceOp, TraceRecord
+from repro.traces.ingest import iter_msr_csv, load_msr_csv
 from repro.traces.io import load_trace, save_trace
+from repro.traces.patterns import (Barrier, PatternConfig, Pause, compose,
+                                   iter_hot_cold, iter_random, iter_sequential,
+                                   iter_snake, iter_strided, iter_zipf,
+                                   strided_period)
 from repro.traces.synthetic import SyntheticConfig, generate_synthetic
 
 __all__ = [
@@ -15,4 +20,17 @@ __all__ = [
     "save_trace",
     "SyntheticConfig",
     "generate_synthetic",
+    "PatternConfig",
+    "Barrier",
+    "Pause",
+    "compose",
+    "iter_sequential",
+    "iter_random",
+    "iter_strided",
+    "iter_snake",
+    "iter_zipf",
+    "iter_hot_cold",
+    "strided_period",
+    "iter_msr_csv",
+    "load_msr_csv",
 ]

@@ -1,0 +1,372 @@
+"""Composable access-pattern suite: the synthetic half of the workload zoo.
+
+:mod:`repro.traces.synthetic` models the paper's own generator (one knob of
+sequentiality, one mix).  Real device studies need a *zoo* of access shapes,
+and the classic suites (wiscsee's ``patternsuite``/``lbabench`` family) build
+them from a handful of composable primitives.  This module ports that idea
+onto the repo's streaming replay:
+
+* every pattern is a **lazy, seeded generator** of
+  :class:`~repro.traces.record.TraceRecord` — one record materialized at a
+  time, so a pattern can feed
+  :func:`repro.workloads.driver.replay_trace`'s bounded window at O(1)
+  memory regardless of ``count`` (the zipf/hot-cold tables are O(region
+  slots), the same order as the FTL map itself);
+* patterns share one :class:`PatternConfig` (count, region, request size,
+  read/write mix, arrival process, priority tagging, seed), so "the same
+  traffic, different address shape" is a one-argument change;
+* phases compose: :func:`compose` chains pattern streams and emits
+  **control records** between them — :class:`Barrier` (drain the device
+  before the next phase; phase timestamps restart at the drain instant) and
+  :class:`Pause` (inject idle time, e.g. to let background cleaning run).
+  :func:`repro.workloads.driver.replay_pattern` interprets them.
+
+Address shapes
+--------------
+=============  ===========================================================
+sequential     wrap-around ascending sweep from slot 0
+random         uniform over the region's request slots
+strided        arithmetic slot progression ``(i * stride) % region`` —
+               period is ``slots / gcd(stride_slots, slots)``
+snake          a creeping window of live data: write at the head, FREE
+               (trim) the slot one window behind, wrapping the region —
+               the canonical informed-cleaning (TRIM) exercise
+zipf           slot popularity ``∝ 1/rank**theta``, ranks scattered over
+               the region by a seeded permutation
+hot/cold       a fraction of the space (the hot set) takes a fraction of
+               the accesses — the classic skew knob
+=============  ===========================================================
+
+Determinism: every pattern draws from :func:`repro.sim.rng.stream` streams
+namespaced per pattern (``pattern.<name>.<purpose>``), so a (seed, pattern)
+pair always replays the identical trace and adding a new pattern never
+perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from math import gcd
+from typing import Iterable, Iterator, List, Union
+
+from repro.sim.rng import stream
+from repro.traces.record import TraceOp, TraceRecord
+
+__all__ = [
+    "PatternConfig",
+    "Barrier",
+    "Pause",
+    "PatternRecord",
+    "compose",
+    "iter_sequential",
+    "iter_random",
+    "iter_strided",
+    "iter_snake",
+    "iter_zipf",
+    "iter_hot_cold",
+    "strided_period",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Barrier:
+    """Control record: stop admitting later records until every earlier
+    request has completed (the device drains).  The next phase's timestamps
+    restart at the drain instant, so each phase carries its own relative
+    timeline starting at 0."""
+
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Pause:
+    """Control record: shift every later record of the current segment
+    ``delta_us`` into the future — injected idle time (background cleaning
+    and wear-leveling keep running through it)."""
+
+    delta_us: float
+
+    def __post_init__(self) -> None:
+        if self.delta_us < 0:
+            raise ValueError(f"pause must be >= 0 us, got {self.delta_us}")
+
+
+#: what a pattern stream yields: data records plus the two control records
+PatternRecord = Union[TraceRecord, Barrier, Pause]
+
+
+@dataclass(frozen=True)
+class PatternConfig:
+    """Shared knobs of the pattern generators (sizes in bytes, times in µs).
+
+    ``arrival_process``: ``"uniform"`` draws inter-arrivals from
+    ``U(0, interarrival_max_us)`` (the paper's Figure 3 process),
+    ``"poisson"`` is exponential with the same mean, and ``"fixed"`` spaces
+    records exactly ``interarrival_max_us / 2`` apart — the same offered
+    load as the other two, jitter-free.  ``interarrival_max_us=0`` packs
+    every record at t=0 (a pure burst).
+    """
+
+    count: int = 1000
+    region_bytes: int = 64 << 20
+    request_bytes: int = 4096
+    read_fraction: float = 0.0
+    interarrival_max_us: float = 100.0
+    arrival_process: str = "uniform"
+    priority_fraction: float = 0.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.arrival_process not in ("uniform", "poisson", "fixed"):
+            raise ValueError(
+                f"arrival_process must be 'uniform', 'poisson', or 'fixed', "
+                f"got {self.arrival_process!r}"
+            )
+        if self.count <= 0:
+            raise ValueError("count must be positive")
+        if self.request_bytes <= 0 or self.request_bytes % 512:
+            raise ValueError("request_bytes must be a positive multiple of 512")
+        if self.region_bytes < self.request_bytes:
+            raise ValueError("region must hold at least one request")
+        for name in ("read_fraction", "priority_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def slots(self) -> int:
+        """Request-sized slots the region holds."""
+        return self.region_bytes // self.request_bytes
+
+
+def _emit(config: PatternConfig, name: str, next_slot) -> Iterator[TraceRecord]:
+    """Shared emission loop: arrivals, read/write mix, and priority tagging
+    around a pattern-specific ``next_slot(i) -> slot`` address source."""
+    mix_rng = stream(config.seed, f"pattern.{name}.mix")
+    arrival_rng = stream(config.seed, f"pattern.{name}.arrivals")
+    priority_rng = stream(config.seed, f"pattern.{name}.priority")
+
+    request_bytes = config.request_bytes
+    read_fraction = config.read_fraction
+    priority_fraction = config.priority_fraction
+    gap = config.interarrival_max_us
+    poisson = config.arrival_process == "poisson"
+    fixed = config.arrival_process == "fixed"
+    rate = 2.0 / gap if poisson and gap > 0 else 0.0
+    fixed_gap = gap / 2.0
+    mix_random = mix_rng.random
+    priority_random = priority_rng.random
+    arrival_uniform = arrival_rng.uniform
+    arrival_expovariate = arrival_rng.expovariate
+    read_op, write_op = TraceOp.READ, TraceOp.WRITE
+
+    now = 0.0
+    for i in range(config.count):
+        if gap > 0:
+            if poisson:
+                now += arrival_expovariate(rate)
+            elif fixed:
+                now += fixed_gap
+            else:
+                now += arrival_uniform(0.0, gap)
+        op = read_op if mix_random() < read_fraction else write_op
+        priority = (
+            1
+            if priority_fraction > 0 and priority_random() < priority_fraction
+            else 0
+        )
+        yield TraceRecord(now, op, next_slot(i) * request_bytes,
+                          request_bytes, priority)
+
+
+def iter_sequential(config: PatternConfig,
+                    start_slot: int = 0) -> Iterator[TraceRecord]:
+    """Ascending sweep from ``start_slot``, wrapping at the region end."""
+    slots = config.slots
+    if not 0 <= start_slot < slots:
+        raise ValueError(f"start_slot must be in [0, {slots}), got {start_slot}")
+    return _emit(config, "sequential",
+                 lambda i: (start_slot + i) % slots)
+
+
+def iter_random(config: PatternConfig) -> Iterator[TraceRecord]:
+    """Uniform-random slot per record."""
+    randrange = stream(config.seed, "pattern.random.addresses").randrange
+    slots = config.slots
+    return _emit(config, "random", lambda i: randrange(slots))
+
+
+def strided_period(config: PatternConfig, stride_bytes: int) -> int:
+    """Records until a strided pattern revisits its start slot:
+    ``slots / gcd(stride_slots, slots)``."""
+    slots = config.slots
+    step = stride_bytes // config.request_bytes
+    return slots // gcd(step % slots or slots, slots)
+
+
+def iter_strided(config: PatternConfig, stride_bytes: int,
+                 start_slot: int = 0) -> Iterator[TraceRecord]:
+    """Arithmetic slot progression: record *i* lands on
+    ``(start + i * stride_slots) % slots``.  ``stride_bytes`` must be a
+    positive multiple of ``request_bytes``; the pattern cycles with period
+    :func:`strided_period`."""
+    if stride_bytes <= 0 or stride_bytes % config.request_bytes:
+        raise ValueError(
+            f"stride ({stride_bytes}) must be a positive multiple of the "
+            f"request size ({config.request_bytes})"
+        )
+    slots = config.slots
+    step = stride_bytes // config.request_bytes
+    if not 0 <= start_slot < slots:
+        raise ValueError(f"start_slot must be in [0, {slots}), got {start_slot}")
+    return _emit(config, "strided",
+                 lambda i: (start_slot + i * step) % slots)
+
+
+def iter_snake(config: PatternConfig,
+               window_bytes: int) -> Iterator[TraceRecord]:
+    """A creeping window of live data (pure write + trim; ``read_fraction``
+    must be 0): record *i* writes slot ``i % slots``, and once the window is
+    full each write is followed — at the same timestamp — by a FREE of the
+    slot ``window`` behind it.  Live data therefore stays exactly
+    ``window_bytes`` while the pattern snakes through the whole region; on a
+    trim-processing device the freed slots never cost a cleaning copy (the
+    paper's informed cleaning, §3.5).
+
+    Yields ``count`` WRITE records plus ``max(0, count - window_slots)``
+    interleaved FREE records.
+    """
+    if config.read_fraction != 0.0:
+        raise ValueError("snake is a write+trim pattern; read_fraction must be 0")
+    slots = config.slots
+    window_slots = window_bytes // config.request_bytes
+    if window_slots <= 0 or window_bytes % config.request_bytes:
+        raise ValueError(
+            f"window ({window_bytes}) must be a positive multiple of the "
+            f"request size ({config.request_bytes})"
+        )
+    if window_slots >= slots:
+        raise ValueError(
+            f"window ({window_slots} slots) must be smaller than the region "
+            f"({slots} slots)"
+        )
+
+    def generate() -> Iterator[TraceRecord]:
+        arrival_rng = stream(config.seed, "pattern.snake.arrivals")
+        priority_rng = stream(config.seed, "pattern.snake.priority")
+        request_bytes = config.request_bytes
+        priority_fraction = config.priority_fraction
+        gap = config.interarrival_max_us
+        poisson = config.arrival_process == "poisson"
+        fixed = config.arrival_process == "fixed"
+        rate = 2.0 / gap if poisson and gap > 0 else 0.0
+        write_op, free_op = TraceOp.WRITE, TraceOp.FREE
+
+        now = 0.0
+        for i in range(config.count):
+            if gap > 0:
+                if poisson:
+                    now += arrival_rng.expovariate(rate)
+                elif fixed:
+                    now += gap / 2.0
+                else:
+                    now += arrival_rng.uniform(0.0, gap)
+            priority = (
+                1
+                if priority_fraction > 0
+                and priority_rng.random() < priority_fraction
+                else 0
+            )
+            yield TraceRecord(now, write_op, (i % slots) * request_bytes,
+                              request_bytes, priority)
+            if i >= window_slots:
+                tail = (i - window_slots) % slots
+                yield TraceRecord(now, free_op, tail * request_bytes,
+                                  request_bytes, 0)
+
+    return generate()
+
+
+def iter_zipf(config: PatternConfig, theta: float = 1.0,
+              scramble: bool = True) -> Iterator[TraceRecord]:
+    """Zipf-popular slots: the rank-*r* slot is drawn with probability
+    proportional to ``1 / r**theta``.  ``scramble`` (default) maps ranks
+    onto the region through a seeded permutation so the hot slots scatter
+    instead of clustering at offset 0.  The rank table is O(region slots),
+    built once; each draw is one bisect."""
+    if theta <= 0.0:
+        raise ValueError(f"theta must be positive, got {theta}")
+    slots = config.slots
+    cumulative: List[float] = []
+    total = 0.0
+    for rank in range(1, slots + 1):
+        total += 1.0 / rank ** theta
+        cumulative.append(total)
+    rank_to_slot = list(range(slots))
+    if scramble:
+        stream(config.seed, "pattern.zipf.permute").shuffle(rank_to_slot)
+    draw = stream(config.seed, "pattern.zipf.addresses").random
+
+    def next_slot(i: int) -> int:
+        rank = bisect_right(cumulative, draw() * total)
+        if rank >= slots:  # guard the floating-point top edge
+            rank = slots - 1
+        return rank_to_slot[rank]
+
+    return _emit(config, "zipf", next_slot)
+
+
+def iter_hot_cold(config: PatternConfig, hot_space_fraction: float = 0.2,
+                  hot_access_fraction: float = 0.8) -> Iterator[TraceRecord]:
+    """Skewed split: the first ``hot_space_fraction`` of the region's slots
+    (the hot set) receives ``hot_access_fraction`` of the accesses; both
+    halves are uniform internally.  The textbook 20/80 skew is the
+    default."""
+    for name, value in (("hot_space_fraction", hot_space_fraction),
+                        ("hot_access_fraction", hot_access_fraction)):
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value}")
+    slots = config.slots
+    hot_slots = max(1, int(slots * hot_space_fraction))
+    cold_slots = slots - hot_slots
+    if cold_slots <= 0:
+        raise ValueError(
+            f"hot set ({hot_slots} slots) leaves no cold slots in a "
+            f"{slots}-slot region"
+        )
+    rng = stream(config.seed, "pattern.hot_cold.addresses")
+    random_, randrange = rng.random, rng.randrange
+
+    def next_slot(i: int) -> int:
+        if random_() < hot_access_fraction:
+            return randrange(hot_slots)
+        return hot_slots + randrange(cold_slots)
+
+    return _emit(config, "hot_cold", next_slot)
+
+
+def compose(*phases: Iterable[PatternRecord], barrier: bool = True,
+            pause_us: float = 0.0) -> Iterator[PatternRecord]:
+    """Chain pattern streams into one suite.
+
+    Between consecutive phases a :class:`Barrier` is emitted (unless
+    ``barrier=False``) and then a :class:`Pause` of ``pause_us`` (when
+    positive).  Each phase keeps its own relative timestamps —
+    :func:`repro.workloads.driver.replay_pattern` restarts the clock at
+    every barrier, so phases compose without any re-stamping.
+
+    Phases may themselves contain control records, so suites nest:
+    ``compose(compose(a, b), c)`` behaves exactly like
+    ``compose(a, b, c)``.
+    """
+    if pause_us < 0:
+        raise ValueError(f"pause_us must be >= 0, got {pause_us}")
+    last = len(phases) - 1
+    for index, phase in enumerate(phases):
+        yield from phase
+        if index != last:
+            if barrier:
+                yield Barrier(label=f"phase-{index}")
+            if pause_us > 0:
+                yield Pause(pause_us)

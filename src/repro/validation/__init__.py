@@ -1,0 +1,23 @@
+"""External correctness anchors: analytical models the simulator must track.
+
+Everything else in the test surface pins the simulator against the paper's
+own tables or against our own seeded goldens — self-consistency, not
+correctness.  This package holds validators derived from *independent*
+theory; the first is the steady-state write-amplification model of
+:mod:`repro.validation.write_amp`.
+"""
+
+from repro.validation.write_amp import (WAConfig, WAMeasurement,
+                                        fifo_write_amp, greedy_write_amp,
+                                        measure_write_amp, sweep_write_amp,
+                                        within_band)
+
+__all__ = [
+    "WAConfig",
+    "WAMeasurement",
+    "fifo_write_amp",
+    "greedy_write_amp",
+    "measure_write_amp",
+    "sweep_write_amp",
+    "within_band",
+]

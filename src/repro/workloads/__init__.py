@@ -2,7 +2,9 @@
 
 from repro.workloads.driver import (
     ClosedLoopDriver,
+    StreamingResult,
     WorkloadResult,
+    replay_pattern,
     replay_trace,
 )
 from repro.workloads.microbench import (
@@ -13,8 +15,10 @@ from repro.workloads.microbench import (
 
 __all__ = [
     "ClosedLoopDriver",
+    "StreamingResult",
     "WorkloadResult",
     "replay_trace",
+    "replay_pattern",
     "MicrobenchResult",
     "measure_bandwidth",
     "prepare_region",

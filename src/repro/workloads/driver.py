@@ -73,6 +73,7 @@ from repro.device.interface import (Completion, IORequest, IORequestPool,
 from repro.sim.engine import Event, Simulator
 from repro.sim.stats import (ClassAggregate, FLUSH_THRESHOLD, LatencyRecorder,
                              LatencySummary, QuantileSketch)
+from repro.traces.patterns import Barrier, Pause, PatternRecord
 from repro.traces.record import TraceOp, TraceRecord
 from repro.units import mb_per_s
 
@@ -80,7 +81,7 @@ from repro.units import mb_per_s
 _OP_OF = {trace_op: trace_op.to_op_type() for trace_op in TraceOp}
 
 __all__ = ["WorkloadResult", "ResultSink", "StreamingResult", "replay_trace",
-           "ClosedLoopDriver", "REPLAY_WINDOW"]
+           "replay_pattern", "ClosedLoopDriver", "REPLAY_WINDOW"]
 
 #: default bound on concurrently-scheduled future submissions in
 #: :func:`replay_trace` (heap memory is O(window), not O(trace length))
@@ -466,6 +467,69 @@ def replay_trace(
     if finalize is not None:
         finalize()
     return result
+
+
+def replay_pattern(
+    sim: Simulator,
+    device,
+    records: Iterable["PatternRecord"],
+    time_scale: float = 1.0,
+    collect_frees: bool = False,
+    window: Optional[int] = REPLAY_WINDOW,
+    sink: Optional[ResultSink] = None,
+) -> ResultSink:
+    """Open-loop replay of a pattern stream with control records.
+
+    Accepts what :func:`replay_trace` does plus the two control records of
+    :mod:`repro.traces.patterns` interleaved in the stream:
+
+    * :class:`~repro.traces.patterns.Barrier` — stop admitting, run the
+      device to idle, then resume; the records after the barrier restart
+      their timeline at the drain instant (each phase of a
+      :func:`~repro.traces.patterns.compose` suite carries its own relative
+      timestamps).
+    * :class:`~repro.traces.patterns.Pause` — shift every later record of
+      the current segment ``delta_us`` into the future (idle-time
+      injection; ``time_scale`` applies to the shifted timestamps like any
+      others).
+
+    Implementation: the stream splits into segments at barriers and each
+    segment is fed to :func:`replay_trace` — whose trailing
+    ``run_until_idle()`` *is* the drain — so the per-record hot path is
+    exactly the streaming replay core, unchanged.  Pauses re-stamp
+    records on the way in (zero cost while no pause has occurred).
+
+    The result is always a sink (default :class:`StreamingResult`) shared
+    across segments; ``elapsed_us`` spans the whole suite, drains
+    included.
+    """
+    if sink is None:
+        sink = StreamingResult()
+    iterator = iter(records)
+    start = sim.now
+    done = False
+
+    def segment() -> Iterable[TraceRecord]:
+        nonlocal done
+        offset = 0.0
+        for item in iterator:
+            kind = type(item)
+            if kind is Barrier:
+                return
+            if kind is Pause:
+                offset += item.delta_us
+            elif offset:
+                yield TraceRecord(item.time_us + offset, item.op,
+                                  item.offset, item.size, item.priority)
+            else:
+                yield item
+        done = True
+
+    while not done:
+        replay_trace(sim, device, segment(), time_scale=time_scale,
+                     collect_frees=collect_frees, window=window, sink=sink)
+    sink.elapsed_us = sim.now - start
+    return sink
 
 
 class ClosedLoopDriver:

@@ -1,0 +1,134 @@
+"""Direct unit tests for :mod:`repro.traces.analysis`.
+
+The profile is what EXPERIMENTS.md claims are checked against ("IOzone is
+large and sequential"), so every field gets a hand-built trace with a
+known answer rather than a statistical bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.analysis import TraceProfile, analyze, sequentiality
+from repro.traces.record import TraceOp, TraceRecord
+from repro.units import SEC
+
+KB4 = 4096
+
+
+def W(t, offset, size=KB4, priority=0):
+    return TraceRecord(t, TraceOp.WRITE, offset, size, priority)
+
+
+def R(t, offset, size=KB4, priority=0):
+    return TraceRecord(t, TraceOp.READ, offset, size, priority)
+
+
+def F(t, offset, size=KB4):
+    return TraceRecord(t, TraceOp.FREE, offset, size, 0)
+
+
+class TestSequentiality:
+    def test_perfect_sequential_stream(self):
+        records = [W(i * 10.0, i * KB4) for i in range(10)]
+        assert sequentiality(records) == 1.0
+
+    def test_pure_random_is_zero(self):
+        records = [W(0.0, 0), W(1.0, 10 * KB4), W(2.0, 3 * KB4)]
+        assert sequentiality(records) == 0.0
+
+    def test_tracked_per_op(self):
+        """Reads continue reads and writes continue writes independently —
+        an interleaved pair of sequential streams scores 1.0."""
+        records = [
+            W(0.0, 0), R(1.0, 100 * KB4),
+            W(2.0, KB4), R(3.0, 101 * KB4),
+            W(4.0, 2 * KB4), R(5.0, 102 * KB4),
+        ]
+        assert sequentiality(records) == 1.0
+
+    def test_frees_are_ignored(self):
+        records = [W(0.0, 0), F(0.5, 50 * KB4), W(1.0, KB4)]
+        assert sequentiality(records) == 1.0
+
+    def test_first_record_of_an_op_not_counted(self):
+        # one write only: nothing to continue, denominator empty
+        assert sequentiality([W(0.0, 0)]) == 0.0
+
+    def test_half_sequential(self):
+        records = [W(0.0, 0), W(1.0, KB4),            # seq
+                   W(2.0, 10 * KB4), W(3.0, 11 * KB4)]  # jump, then seq
+        # 3 considered (records 2-4), 2 continue their predecessor
+        assert sequentiality(records) == pytest.approx(2 / 3)
+
+
+class TestAnalyze:
+    def trace(self):
+        return [
+            W(0.0, 0, 2 * KB4, priority=1),  # blocks 0,1
+            R(100.0, 0, KB4),                # block 0 (re-touch)
+            W(200.0, 4 * KB4, KB4),          # block 4
+            F(300.0, 0, 2 * KB4),            # free: not IO
+            R(400.0, 8 * KB4, 2 * KB4),      # blocks 8,9
+        ]
+
+    def test_counts_and_mix(self):
+        profile = analyze(self.trace())
+        assert profile.records == 5
+        assert (profile.reads, profile.writes, profile.frees) == (2, 1 + 1, 1)
+        assert profile.read_fraction == 0.5
+        assert profile.priority_fraction == 1 / 5
+
+    def test_bytes_by_op(self):
+        profile = analyze(self.trace())
+        assert profile.bytes_read == 3 * KB4
+        assert profile.bytes_written == 3 * KB4
+        assert profile.bytes_freed == 2 * KB4
+
+    def test_request_sizes_exclude_frees(self):
+        profile = analyze(self.trace())
+        assert profile.min_request_bytes == KB4
+        assert profile.max_request_bytes == 2 * KB4
+        assert profile.mean_request_bytes == pytest.approx(6 * KB4 / 4)
+
+    def test_footprint_counts_distinct_blocks(self):
+        profile = analyze(self.trace())
+        # blocks 0,1,4,8,9 touched by reads/writes; FREE doesn't count
+        assert profile.footprint_bytes == 5 * KB4
+        assert profile.address_span_bytes == 10 * KB4  # end of the last read
+
+    def test_timing_and_load(self):
+        profile = analyze(self.trace())
+        assert profile.duration_us == 400.0
+        assert profile.mean_interarrival_us == 100.0
+        # 6 pages of IO over 400us, in MiB/s
+        assert profile.offered_load_mb_s == pytest.approx(
+            (6 * KB4 / (1 << 20)) / (400.0 / SEC))
+
+    def test_block_size_knob(self):
+        profile = analyze(self.trace(), block_bytes=8192)
+        # 8K blocks: {0}, {0}, {2}, -, {4} -> 3 distinct
+        assert profile.footprint_bytes == 3 * 8192
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            analyze([])
+
+    def test_single_record(self):
+        profile = analyze([W(5.0, 0)])
+        assert profile.duration_us == 0.0
+        assert profile.offered_load_mb_s == 0.0
+        assert profile.mean_interarrival_us == 0.0
+        assert profile.sequentiality == 0.0
+
+    def test_accepts_any_iterable(self):
+        profile = analyze(iter(self.trace()))
+        assert profile.records == 5
+
+    def test_describe_mentions_every_headline_number(self):
+        profile = analyze(self.trace())
+        text = profile.describe()
+        assert "records        : 5" in text
+        assert "R 2 / W 2 / F 1" in text
+        assert "0.50" in text  # read fraction
+        assert isinstance(profile, TraceProfile)
