@@ -50,6 +50,17 @@ pattern-suite replay front end, PR 8):
   ``trim_enabled`` device; the fingerprint additionally pins ``trims``
   and ``trimmed_pages``, gating the informed-cleaning path bit-for-bit.
 
+plus one fleet-layer scenario (PR 9):
+
+* ``fleet_qos``       — a two-device, three-tenant QoS fleet
+  (:mod:`repro.fleet`): gold/silver/bronze tenants with disjoint LBA
+  namespaces merged per device, run shared-nothing and folded into one
+  :class:`FleetReport`.  The gated ``fleet_digest`` is the report's
+  fingerprint — canonical merged sketches, reservoirs, and per-device
+  stats — so the entire router/runner/merge pipeline is pinned
+  bit-for-bit (and, because the report is proven identical across worker
+  counts, the digest gates the parallel path too).
+
 plus one setup-path scenario:
 
 * ``prefill``         — steady-state device aging
@@ -93,6 +104,7 @@ if str(_ROOT / "src") not in sys.path:  # standalone `python benchmarks/...` run
 
 from repro.device.presets import s4slc_sim
 from repro.flash.element import FlashElement
+from repro.fleet import FleetConfig, TenantSpec, run_fleet
 from repro.flash.faults import FaultConfig
 from repro.flash.geometry import FlashGeometry
 from repro.flash.timing import FlashTiming
@@ -123,6 +135,8 @@ _BASE_OPS = {
     "snake_trim": 20_000,
     #: blocks per element for the prefill scenario (sizes the aged device)
     "prefill": 1_024,
+    #: records per tenant per device for the fleet scenario
+    "fleet_qos": 3_000,
 }
 
 #: ``--replay-count``: absolute record-count override for ``replay_10m``
@@ -191,6 +205,8 @@ def _measure(build: Callable[[], tuple]) -> Dict[str, float]:
     start = time.perf_counter()
     loop.run()
     wall_s = time.perf_counter() - start
+    if sim is None:  # fleet scenarios build their devices inside run()
+        sim, ftl = loop.sim, loop.ftl
     ftl.check_consistency()
     out = {
         "ops": loop.count,
@@ -478,6 +494,61 @@ def _scenario_snake_trim(scale: float):
     return sim, device.ftl, runner
 
 
+class _FleetRunner:
+    """``fleet_qos`` runner: a whole multi-tenant fleet run (serial,
+    in-process) is the measured body.  ``fleet_digest`` is the merged
+    :meth:`FleetReport.fingerprint` — it covers every device's clock,
+    events, FTL stats, and every tenant's merged sketches and reservoirs,
+    so a faster fleet path that perturbs *any* device or tenant cannot
+    pass.  The standard fingerprint fields read device 0."""
+
+    def __init__(self, config: FleetConfig) -> None:
+        self.config = config
+        self.count = config.total_records
+        self.sim = None
+        self.ftl = None
+        self.report = None
+
+    def run(self) -> None:
+        self.report = run_fleet(self.config, keep_devices=True)
+        sim, device = self.report.live[0]
+        self.sim = sim
+        self.ftl = device.ftl
+
+    def extra_fingerprint(self) -> Dict[str, int]:
+        return {
+            "fleet_digest": self.report.fingerprint(),
+            "fleet_requests": self.report.total_requests,
+            "fleet_events": self.report.total_events,
+        }
+
+
+def _scenario_fleet_qos(scale: float):
+    """Multi-tenant QoS fleet (see module docstring): two devices, three
+    tenants per device — a gold random tenant on the priority path, a
+    silver hot/cold tenant, a bronze sequential batch stream — merged
+    into one fleet report whose digest is the gated fingerprint."""
+    per_tenant = max(300, int(_BASE_OPS["fleet_qos"] * scale))
+    config = FleetConfig(
+        tenants=(
+            TenantSpec(name="oltp", pattern="random", qos="gold",
+                       count=per_tenant, read_fraction=0.5, weight=1.0),
+            TenantSpec(name="mail", pattern="hot_cold", qos="silver",
+                       count=per_tenant, read_fraction=0.4, weight=1.0,
+                       pattern_args={"hot_space_fraction": 0.2,
+                                     "hot_access_fraction": 0.8}),
+            TenantSpec(name="batch", pattern="sequential", qos="bronze",
+                       count=per_tenant, weight=2.0),
+        ),
+        n_devices=2,
+        element_mb=8,
+        device_args={"scheduler": "swtf", "max_inflight": 16,
+                     "controller_overhead_us": 5.0},
+        seed=2009,
+    )
+    return None, None, _FleetRunner(config)
+
+
 def _state_crc(ftl, crc: int = 0) -> int:
     """CRC32 over the FTL's full logical/physical state (maps, page states,
     write pointers, erase counts).  Any behavioural change to prefill —
@@ -545,6 +616,7 @@ SCENARIOS: Dict[str, Callable[[float], tuple]] = {
     "zipf_hotcold": _scenario_zipf_hotcold,
     "snake_trim": _scenario_snake_trim,
     "prefill": _scenario_prefill,
+    "fleet_qos": _scenario_fleet_qos,
 }
 
 
@@ -631,6 +703,19 @@ def test_hotpath_snake_trim(benchmark):
     # the snaking FREEs must reach the FTL as processed TRIMs
     assert result["trims"] > 0
     assert result["trimmed_pages"] > 0
+
+
+def test_hotpath_fleet_qos(benchmark):
+    from benchmarks.conftest import BENCH_OPTIONS, bench_scale
+
+    result = benchmark.pedantic(
+        run_scenario, args=("fleet_qos",), kwargs=dict(scale=bench_scale()),
+        **BENCH_OPTIONS,
+    )
+    # both devices simulated and merged; QoS classes actually flowed
+    assert result["fleet_requests"] == result["ops"]
+    assert result["fleet_events"] > result["events"]  # > device 0 alone
+    assert result["fleet_digest"] != 0
 
 
 def test_hotpath_prefill(benchmark):

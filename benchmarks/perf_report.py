@@ -68,6 +68,7 @@ _FINGERPRINT = (
     "blocks_retired", "rescued_pages", "failed_pages", "read_retries",
     "write_retries", "requests_failed", "error_completions",
     "trims", "trimmed_pages",
+    "fleet_digest", "fleet_requests", "fleet_events",
 )
 
 #: file the ``--profile`` run writes next to BENCH_CORE.json

@@ -24,7 +24,7 @@ import math
 import random
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -342,7 +342,20 @@ class QuantileSketch:
         return self.max  # pragma: no cover - counts always sum to count
 
     def merge(self, other: "QuantileSketch") -> None:
-        """Fold another sketch in (exact: buckets align when alphas match)."""
+        """Fold another sketch in (exact: buckets align when alphas match).
+
+        Merge-order contract (the fleet layer's determinism rests on it):
+        bucket counts, ``count``, the zero-bucket tally, ``min``, and
+        ``max`` are integer adds and float comparisons — **exactly**
+        independent of shard count and merge order, so every quantile
+        (which reads only those fields) is merge-order-invariant down to
+        the bit.  ``sum`` (hence ``mean``) is the one exception: float
+        addition is non-associative, so different merge orders can move it
+        by ULPs.  Callers that pin merged results bit-for-bit must
+        therefore merge in a canonical order — :mod:`repro.fleet` always
+        folds shards in ascending device index, regardless of which worker
+        finished first.
+        """
         if other.alpha != self.alpha or other._floor != self._floor:
             raise ValueError("can only merge sketches with identical buckets")
         buckets = self._buckets
@@ -375,6 +388,18 @@ class QuantileSketch:
     def bucket_count(self) -> int:
         """Occupied buckets (memory bound diagnostics)."""
         return len(self._buckets)
+
+    @property
+    def zero_count(self) -> int:
+        """Samples below the floor (the collapsed zero bucket)."""
+        return self._zero_count
+
+    def bucket_items(self) -> List[Tuple[int, int]]:
+        """Sorted ``(bucket index, count)`` pairs — the sketch's canonical
+        mergeable state.  Two sketches with equal ``bucket_items()``,
+        ``count``, ``zero_count``, ``min``, and ``max`` answer every
+        quantile identically; the fleet fingerprint hashes exactly these."""
+        return sorted(self._buckets.items())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<QuantileSketch n={self.count} alpha={self.alpha} "
@@ -479,7 +504,16 @@ class ReservoirSampler:
         standard mergeable-reservoir scheme (per-slot Bernoulli in place
         of the exact hypergeometric split; the difference is O(1/√k) on
         the side counts and nothing downstream is that sharp).  Uses
-        *this* sampler's RNG, so a merge tree is deterministic per seed.
+        *this* sampler's RNG, so a merge tree is deterministic per seed
+        **and per merge order** — unlike :meth:`QuantileSketch.merge`,
+        the concrete sample depends on the order shards are folded in
+        (each merge consumes RNG draws), though every order yields a valid
+        uniform-ish sample.  Callers pinning merged samples bit-for-bit
+        must fix the order; :mod:`repro.fleet` merges into a fresh
+        seed-derived sampler in ascending device index.  One exact case:
+        while ``self.seen + other.seen <= capacity`` both sides are still
+        exhaustive, so the merge is plain concatenation — identical to
+        having sampled the concatenated stream serially, no RNG consumed.
         The merged sampler keeps accepting stream elements afterwards.
         """
         if other.capacity != self.capacity:

@@ -106,6 +106,14 @@ class PatternConfig:
     records exactly ``interarrival_max_us / 2`` apart — the same offered
     load as the other two, jitter-free.  ``interarrival_max_us=0`` packs
     every record at t=0 (a pure burst).
+
+    ``lba_base_bytes`` shifts the whole pattern to a namespaced window
+    ``[lba_base_bytes, lba_base_bytes + region_bytes)`` of the device's
+    address space — the multi-tenant hook (:mod:`repro.fleet` gives each
+    tenant a disjoint base inside one device).  It must be slot-aligned (a
+    multiple of ``request_bytes``); the default 0 leaves every existing
+    pattern byte-identical, and the base never feeds the RNG streams, so a
+    tenant's *relative* trace is invariant under relocation.
     """
 
     count: int = 1000
@@ -116,6 +124,7 @@ class PatternConfig:
     arrival_process: str = "uniform"
     priority_fraction: float = 0.0
     seed: int = 42
+    lba_base_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival_process not in ("uniform", "poisson", "fixed"):
@@ -133,6 +142,11 @@ class PatternConfig:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.lba_base_bytes < 0 or self.lba_base_bytes % self.request_bytes:
+            raise ValueError(
+                f"lba_base_bytes ({self.lba_base_bytes}) must be a "
+                f"non-negative multiple of request_bytes ({self.request_bytes})"
+            )
 
     @property
     def slots(self) -> int:
@@ -148,6 +162,7 @@ def _emit(config: PatternConfig, name: str, next_slot) -> Iterator[TraceRecord]:
     priority_rng = stream(config.seed, f"pattern.{name}.priority")
 
     request_bytes = config.request_bytes
+    base = config.lba_base_bytes
     read_fraction = config.read_fraction
     priority_fraction = config.priority_fraction
     gap = config.interarrival_max_us
@@ -176,7 +191,7 @@ def _emit(config: PatternConfig, name: str, next_slot) -> Iterator[TraceRecord]:
             if priority_fraction > 0 and priority_random() < priority_fraction
             else 0
         )
-        yield TraceRecord(now, op, next_slot(i) * request_bytes,
+        yield TraceRecord(now, op, base + next_slot(i) * request_bytes,
                           request_bytes, priority)
 
 
@@ -256,6 +271,7 @@ def iter_snake(config: PatternConfig,
         arrival_rng = stream(config.seed, "pattern.snake.arrivals")
         priority_rng = stream(config.seed, "pattern.snake.priority")
         request_bytes = config.request_bytes
+        base = config.lba_base_bytes
         priority_fraction = config.priority_fraction
         gap = config.interarrival_max_us
         poisson = config.arrival_process == "poisson"
@@ -278,11 +294,12 @@ def iter_snake(config: PatternConfig,
                 and priority_rng.random() < priority_fraction
                 else 0
             )
-            yield TraceRecord(now, write_op, (i % slots) * request_bytes,
+            yield TraceRecord(now, write_op,
+                              base + (i % slots) * request_bytes,
                               request_bytes, priority)
             if i >= window_slots:
                 tail = (i - window_slots) % slots
-                yield TraceRecord(now, free_op, tail * request_bytes,
+                yield TraceRecord(now, free_op, base + tail * request_bytes,
                                   request_bytes, 0)
 
     return generate()

@@ -80,8 +80,9 @@ from repro.units import mb_per_s
 #: TraceOp -> OpType, resolved once (the replay loop is per-record hot)
 _OP_OF = {trace_op: trace_op.to_op_type() for trace_op in TraceOp}
 
-__all__ = ["WorkloadResult", "ResultSink", "StreamingResult", "replay_trace",
-           "replay_pattern", "ClosedLoopDriver", "REPLAY_WINDOW"]
+__all__ = ["WorkloadResult", "ResultSink", "StreamingResult", "ShardedResult",
+           "replay_trace", "replay_pattern", "ClosedLoopDriver",
+           "REPLAY_WINDOW"]
 
 #: default bound on concurrently-scheduled future submissions in
 #: :func:`replay_trace` (heap memory is O(window), not O(trace length))
@@ -229,6 +230,16 @@ class StreamingResult:
     def count(self) -> int:
         return sum(agg.count for agg in self._classes.values())
 
+    def class_items(self) -> List[Tuple[Tuple[OpType, bool], ClassAggregate]]:
+        """``((op, priority), ClassAggregate)`` pairs in canonical (op
+        order, priority) order — the iteration order mergers and
+        fingerprints must use so results do not depend on which class a
+        replay happened to touch first."""
+        return sorted(
+            self._classes.items(),
+            key=lambda item: (self._OP_ORDER[item[0][0]], item[0][1]),
+        )
+
     def latency(
         self,
         op: Optional[OpType] = None,
@@ -237,10 +248,7 @@ class StreamingResult:
         """Latency summary filtered by op and/or priority class."""
         matched = [
             aggregate
-            for (key_op, key_pri), aggregate in sorted(
-                self._classes.items(),
-                key=lambda item: (self._OP_ORDER[item[0][0]], item[0][1]),
-            )
+            for (key_op, key_pri), aggregate in self.class_items()
             if (op is None or key_op is op)
             and (priority is None or key_pri == priority)
         ]
@@ -265,6 +273,61 @@ class StreamingResult:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<StreamingResult n={self.count} "
                 f"classes={len(self._classes)}>")
+
+
+class ShardedResult:
+    """Per-shard replay entry: one device, several co-resident streams.
+
+    A :class:`ResultSink` that routes each completion to one of several
+    child sinks — ``classify(request) -> index`` picks the child, typically
+    by recovering the owning shard from ``request.offset`` (the fleet layer
+    gives every tenant a disjoint LBA namespace inside the device, so a
+    bisect over the namespace bases is exact).  The *simulation* is
+    untouched: requests from all shards share the device's queue,
+    scheduler, FTL, and cleaner — which is precisely what makes cross-shard
+    interference measurable — only the bookkeeping is split.
+
+    ``elapsed_us`` is stamped by the driver on the sharded sink and
+    propagated to every child at :meth:`finalize` (children of one device
+    replay share the device's clock span), so per-child bandwidth queries
+    work unchanged.
+    """
+
+    __slots__ = ("sinks", "_classify", "elapsed_us")
+
+    def __init__(self, sinks: List[ResultSink],
+                 classify: Callable[[IORequest], int]) -> None:
+        if not sinks:
+            raise ValueError("ShardedResult needs at least one child sink")
+        self.sinks = list(sinks)
+        self._classify = classify
+        self.elapsed_us = 0.0
+
+    def record(self, request: IORequest) -> None:
+        self.sinks[self._classify(request)].record(request)
+
+    def finalize(self) -> None:
+        for sink in self.sinks:
+            sink.elapsed_us = self.elapsed_us
+            finalize = getattr(sink, "finalize", None)
+            if finalize is not None:
+                finalize()
+
+    @property
+    def count(self) -> int:
+        return sum(sink.count for sink in self.sinks)
+
+    @property
+    def errors(self) -> Dict[str, int]:
+        """Error completions by kind, aggregated over the children."""
+        merged: Dict[str, int] = {}
+        for sink in self.sinks:
+            for kind, n in getattr(sink, "errors", {}).items():
+                merged[kind] = merged.get(kind, 0) + n
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ShardedResult shards={len(self.sinks)} n={self.count}>"
 
 
 def replay_trace(
