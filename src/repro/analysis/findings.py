@@ -1,0 +1,42 @@
+"""The unit of lint output: one :class:`Finding` per hazard site."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit, anchored to a source line.
+
+    ``line_text`` (the stripped source line) is part of the identity used
+    for baseline matching, so a baseline entry survives line-number drift
+    but is invalidated the moment the offending code itself changes.
+    """
+
+    rule: str
+    path: str  # repo-relative posix path, e.g. "src/repro/sim/engine.py"
+    line: int  # 1-based
+    col: int  # 0-based
+    message: str
+    line_text: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: stable across pure line-number drift."""
+        return (self.rule, self.path, self.line_text)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule}: {self.message}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "line_text": self.line_text,
+        }

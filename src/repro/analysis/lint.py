@@ -1,0 +1,205 @@
+"""The lint driver: ``python -m repro.analysis.lint``.
+
+Walks the tree (default: ``src/repro``), runs every registered rule,
+drops findings suppressed by ``# repro: allow[rule-id]`` pragmas or the
+committed baseline (``LINT_BASELINE.json``), and reports the rest —
+text by default, JSON with ``--format=json``.  Exit status 1 on any
+unsuppressed finding, which is what CI gates on.
+
+Programmatic entry points (used by ``tests/test_lint.py``):
+:func:`lint_sources` lints in-memory ``(virtual_path, source)`` pairs —
+the virtual path drives guarded/hot classification — and
+:func:`lint_paths` lints real files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_rules, module_checks, project_checks
+
+__all__ = ["LintResult", "lint_sources", "lint_paths", "main",
+           "REPO_ROOT", "DEFAULT_BASELINE"]
+
+#: repo root, resolved from this file (src/repro/analysis/lint.py)
+REPO_ROOT = Path(__file__).resolve().parents[3]
+DEFAULT_BASELINE = REPO_ROOT / "LINT_BASELINE.json"
+_SKIP_DIRS = {"__pycache__", ".git"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)  # unsuppressed
+    suppressed: List[Finding] = field(default_factory=list)  # via pragma
+    baselined: List[Finding] = field(default_factory=list)  # via baseline
+    stale_baseline: List[Dict[str, object]] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "files": self.files,
+            "findings": [finding.as_dict() for finding in self.findings],
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+            "stale_baseline": self.stale_baseline,
+            "rules": [
+                {"id": rule.id, "family": rule.family, "scope": rule.scope,
+                 "summary": rule.summary}
+                for rule in all_rules()
+            ],
+        }
+
+
+def _analyze(contexts: Sequence[ModuleContext]) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule, check in module_checks():
+        for ctx in contexts:
+            findings.extend(check(ctx))
+    for rule, check in project_checks():
+        findings.extend(check(contexts))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _run(contexts: Sequence[ModuleContext],
+         baseline: Optional[Baseline]) -> LintResult:
+    result = LintResult(files=len(contexts))
+    by_path = {ctx.path: ctx for ctx in contexts}
+    surviving: List[Finding] = []
+    for finding in _analyze(contexts):
+        if by_path[finding.path].suppressed(finding):
+            result.suppressed.append(finding)
+        else:
+            surviving.append(finding)
+    if baseline is not None:
+        kept, matched, stale = baseline.split(surviving)
+        result.findings = kept
+        result.baselined = matched
+        result.stale_baseline = stale
+    else:
+        result.findings = surviving
+    return result
+
+
+def lint_sources(sources: Sequence[Tuple[str, str]],
+                 baseline: Optional[Baseline] = None) -> LintResult:
+    """Lint in-memory modules given as ``(virtual_path, source)`` pairs."""
+    contexts = [ModuleContext.build(path, text) for path, text in sources]
+    return _run(contexts, baseline)
+
+
+def _collect_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                candidate for candidate in sorted(path.rglob("*.py"))
+                if not _SKIP_DIRS.intersection(candidate.parts))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def _rel_path(path: Path) -> str:
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def lint_paths(paths: Sequence[Path],
+               baseline: Optional[Baseline] = None) -> LintResult:
+    """Lint real files/directories."""
+    sources = []
+    for file_path in _collect_files(paths):
+        sources.append((_rel_path(file_path),
+                        file_path.read_text(encoding="utf-8")))
+    return lint_sources(sources, baseline)
+
+
+def _render_text(result: LintResult) -> str:
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    for entry in result.stale_baseline:
+        lines.append(
+            f"warning: stale baseline entry {entry['rule']} at "
+            f"{entry['path']} ({entry['line_text']!r}) — the finding it "
+            f"grandfathered no longer exists; prune LINT_BASELINE.json")
+    lines.append(
+        f"{len(result.findings)} finding(s) in {result.files} file(s) "
+        f"({len(result.suppressed)} pragma-suppressed, "
+        f"{len(result.baselined)} baselined)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Determinism & simulation-safety linter (AST analysis; "
+                    "see docs/architecture.md §12).")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files/directories to lint "
+                             "(default: the src/repro tree)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the report to this file")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline file (default {DEFAULT_BASELINE.name} "
+                             f"at the repo root, when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline (report grandfathered "
+                             "findings too)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write all current unsuppressed findings to the "
+                             "baseline file and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:16s} [{rule.family}/{rule.scope}] {rule.summary}")
+        return 0
+
+    paths = list(args.paths) or [REPO_ROOT / "src" / "repro"]
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    baseline: Optional[Baseline] = None
+    if not args.no_baseline and not args.write_baseline \
+            and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+
+    result = lint_paths(paths, baseline)
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(f"wrote {len(result.findings)} entr(ies) to {baseline_path}")
+        return 0
+
+    if args.format == "json":
+        report = json.dumps(result.as_dict(), indent=2)
+    else:
+        report = _render_text(result)
+    print(report)
+    if args.out is not None:
+        args.out.write_text(report + "\n", encoding="utf-8")
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Rule registry: metadata plus the check callables, in two phases.
+
+*Module rules* see one :class:`~repro.analysis.context.ModuleContext` at
+a time; *project rules* run after every module is parsed and see them
+all (cross-module analyses such as RNG stream-name collision detection).
+Rules register themselves at import of :mod:`repro.analysis.rules`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+
+__all__ = ["Rule", "module_rule", "project_rule", "all_rules",
+           "module_checks", "project_checks"]
+
+ModuleCheck = Callable[[ModuleContext], Iterable[Finding]]
+ProjectCheck = Callable[[Sequence[ModuleContext]], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata of one rule (the id is what pragmas/baselines reference)."""
+
+    id: str
+    family: str
+    summary: str
+    #: where the rule looks: "guarded" (sim/device/ftl/flash/fleet),
+    #: "hot" (hot-path modules), or "tree" (everything linted)
+    scope: str
+
+
+_MODULE_CHECKS: List[Tuple[Rule, ModuleCheck]] = []
+_PROJECT_CHECKS: List[Tuple[Rule, ProjectCheck]] = []
+_BY_ID: Dict[str, Rule] = {}
+
+
+def _register(rule: Rule) -> None:
+    if rule.id in _BY_ID:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _BY_ID[rule.id] = rule
+
+
+def module_rule(id: str, family: str, summary: str, scope: str = "tree"
+                ) -> Callable[[ModuleCheck], ModuleCheck]:
+    """Register a per-module check under the given rule id."""
+    rule = Rule(id=id, family=family, summary=summary, scope=scope)
+
+    def decorate(check: ModuleCheck) -> ModuleCheck:
+        _register(rule)
+        _MODULE_CHECKS.append((rule, check))
+        return check
+
+    return decorate
+
+
+def project_rule(id: str, family: str, summary: str, scope: str = "tree"
+                 ) -> Callable[[ProjectCheck], ProjectCheck]:
+    """Register a whole-project check under the given rule id."""
+    rule = Rule(id=id, family=family, summary=summary, scope=scope)
+
+    def decorate(check: ProjectCheck) -> ProjectCheck:
+        _register(rule)
+        _PROJECT_CHECKS.append((rule, check))
+        return check
+
+    return decorate
+
+
+def all_rules() -> List[Rule]:
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return sorted(_BY_ID.values(), key=lambda rule: (rule.family, rule.id))
+
+
+def module_checks() -> Sequence[Tuple[Rule, ModuleCheck]]:
+    import repro.analysis.rules  # noqa: F401
+
+    return tuple(_MODULE_CHECKS)
+
+
+def project_checks() -> Sequence[Tuple[Rule, ProjectCheck]]:
+    import repro.analysis.rules  # noqa: F401
+
+    return tuple(_PROJECT_CHECKS)

@@ -1,0 +1,16 @@
+"""Rule families (importing this package registers every rule).
+
+Family          Rules                                   Scope
+--------------  --------------------------------------  --------
+nondeterminism  global-rng, wall-clock, env-read        guarded
+ordering        set-iter, id-sort, float-time-eq        guarded
+streams         stream-dup, stream-dynamic              tree
+pooling         pool-escape                             tree
+procpool        procpool-unsafe                         tree
+hotpath         hot-slots, error-swallow                hot/tree
+"""
+
+from repro.analysis.rules import (hotpath, nondet, ordering, pooling,
+                                  procpool, streams)
+
+__all__ = ["nondet", "ordering", "streams", "pooling", "procpool", "hotpath"]

@@ -1,0 +1,157 @@
+"""Family 1 — nondeterminism sources inside the simulation.
+
+Everything the simulator computes must be a pure function of its seeded
+config: the process-wide ``random`` module, numpy's global RNG, wall
+clocks, and environment reads all smuggle in state the fingerprint gate
+cannot see.  Seeded instances (``random.Random(seed)``,
+``np.random.default_rng(seed)``, ``stream(seed, name)``) are the
+sanctioned alternatives and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.analysis.context import ModuleContext, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import module_rule
+
+__all__ = ["check_global_rng", "check_wall_clock", "check_env_read"]
+
+#: time.* entry points that read the host clock
+_WALL_CLOCK_TIME = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+}
+#: datetime constructors that read the host clock (argless "Date-style")
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+
+#: np.random constructors that are fine *when explicitly seeded*
+_SEEDABLE_RNG = {"default_rng", "RandomState", "Generator", "SeedSequence"}
+
+
+def _from_imports(tree: ast.Module, module: str) -> Set[str]:
+    """Names bound by ``from <module> import ...`` (honoring aliases)."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def _calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@module_rule(
+    "global-rng", "nondeterminism",
+    "process-global RNG use (random.*/np.random.*) inside the simulation",
+    scope="guarded")
+def check_global_rng(ctx: ModuleContext) -> List[Finding]:
+    if not ctx.guarded:
+        return []
+    findings: List[Finding] = []
+    bare = _from_imports(ctx.tree, "random")
+    for call in _calls(ctx.tree):
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            continue
+        parts = dotted.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] == "Random":
+                if not call.args and not call.keywords:
+                    findings.append(ctx.finding(
+                        "global-rng", call,
+                        "random.Random() with no seed draws from OS entropy; "
+                        "pass an explicit seed or use stream(seed, name)"))
+            else:
+                findings.append(ctx.finding(
+                    "global-rng", call,
+                    f"call to process-global random.{parts[1]}; derive a "
+                    f"seeded stream via repro.sim.rng.stream instead"))
+        elif parts[0] in ("np", "numpy") and len(parts) >= 3 and parts[1] == "random":
+            attr = parts[2]
+            if attr in _SEEDABLE_RNG and (call.args or call.keywords):
+                continue  # explicitly seeded constructor
+            findings.append(ctx.finding(
+                "global-rng", call,
+                f"call to numpy global RNG {dotted}; construct a seeded "
+                f"Generator (np.random.default_rng(seed)) instead"))
+        elif len(parts) == 1 and parts[0] in bare:
+            if parts[0] == "Random" and (call.args or call.keywords):
+                continue
+            findings.append(ctx.finding(
+                "global-rng", call,
+                f"call to {parts[0]} imported from the process-global "
+                f"random module"))
+    return findings
+
+
+@module_rule(
+    "wall-clock", "nondeterminism",
+    "host wall-clock read inside the simulation (time.*/datetime.now)",
+    scope="guarded")
+def check_wall_clock(ctx: ModuleContext) -> List[Finding]:
+    if not ctx.guarded:
+        return []
+    findings: List[Finding] = []
+    bare = _from_imports(ctx.tree, "time") | {
+        name for name in _from_imports(ctx.tree, "datetime")
+        if name in _WALL_CLOCK_DATETIME
+    }
+    for call in _calls(ctx.tree):
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            continue
+        parts = dotted.split(".")
+        hit = (
+            (parts[0] == "time" and len(parts) == 2
+             and parts[1] in _WALL_CLOCK_TIME)
+            or (len(parts) >= 2 and parts[-1] in _WALL_CLOCK_DATETIME
+                and parts[-2] in ("datetime", "date"))
+            or (len(parts) == 1 and parts[0] in bare
+                and parts[0] in (_WALL_CLOCK_TIME | _WALL_CLOCK_DATETIME))
+        )
+        if hit:
+            findings.append(ctx.finding(
+                "wall-clock", call,
+                f"{dotted}() reads the host clock; simulated time must come "
+                f"from Simulator.now"))
+    return findings
+
+
+@module_rule(
+    "env-read", "nondeterminism",
+    "os.environ read inside the simulation",
+    scope="guarded")
+def check_env_read(ctx: ModuleContext) -> List[Finding]:
+    if not ctx.guarded:
+        return []
+    findings: List[Finding] = []
+    bare = _from_imports(ctx.tree, "os")
+    for node in ast.walk(ctx.tree):
+        dotted = None
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+        elif isinstance(node, ast.Subscript):
+            dotted = dotted_name(node.value)
+        elif isinstance(node, ast.Attribute):
+            dotted = dotted_name(node)
+        if dotted is None:
+            continue
+        hit = (
+            dotted in ("os.environ", "os.getenv")
+            or dotted.startswith("os.environ.")
+            or (dotted.split(".")[0] in bare
+                and dotted.split(".")[0] in ("environ", "getenv"))
+        )
+        if hit and isinstance(node, (ast.Call, ast.Subscript)):
+            findings.append(ctx.finding(
+                "env-read", node,
+                f"{dotted} read inside the simulation; environment knobs "
+                f"belong in configs resolved at the entry point"))
+    return findings

@@ -1,0 +1,205 @@
+"""Family 2 — ordering hazards.
+
+Iteration order of a ``set`` depends on insertion history and (for str
+keys) the per-process hash seed; any scheduling/FTL decision derived
+from it is nondeterministic across processes.  ``sorted(key=id)`` orders
+by allocator addresses.  Float ``==`` on simulated timestamps is only
+sound when both sides are *the same* computed value — the deliberate
+same-instant checks in the engine carry pragmas; new sites must justify
+themselves the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Sequence, Set
+
+from repro.analysis.context import (ModuleContext, scope_statements,
+                                    terminal_name)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import module_rule
+
+__all__ = ["check_set_iter", "check_id_sort", "check_float_time_eq"]
+
+#: calls whose argument order is observable (order-insensitive reducers
+#: like min/max/sum/len/any/all/sorted are deliberately absent)
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "reversed", "iter"}
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+
+
+def _scope_exprs(body: Sequence[ast.stmt]) -> Iterator[ast.expr]:
+    """Every expression evaluated in this scope (nested function/class
+    bodies excluded — they are scanned as their own scopes)."""
+    for stmt in scope_statements(body):
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                for inner in ast.walk(child):
+                    if isinstance(inner, ast.expr):
+                        yield inner
+
+
+def _set_names_in_scope(body: Sequence[ast.stmt]) -> Set[str]:
+    """Names assigned a syntactically set-typed value in this scope."""
+    names: Set[str] = set()
+    for stmt in scope_statements(body):
+        if isinstance(stmt, ast.Assign):
+            targets: List[ast.expr] = list(stmt.targets)
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        if _is_set_expr(value, names):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if (isinstance(func, ast.Attribute) and func.attr in _SET_METHODS
+                and _is_set_expr(func.value, set_names)):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return (_is_set_expr(node.left, set_names)
+                or _is_set_expr(node.right, set_names))
+    return False
+
+
+def _scan_scope(ctx: ModuleContext, body: Sequence[ast.stmt],
+                findings: List[Finding]) -> None:
+    set_names = _set_names_in_scope(body)
+    for node in _scope_exprs(body):
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter, set_names):
+                    findings.append(ctx.finding(
+                        "set-iter", gen.iter,
+                        "comprehension over a set: order is insertion/hash "
+                        "dependent; wrap in sorted(...)"))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Name)
+                    and func.id in _ORDER_SENSITIVE_CALLS and node.args
+                    and _is_set_expr(node.args[0], set_names)):
+                findings.append(ctx.finding(
+                    "set-iter", node.args[0],
+                    f"{func.id}() over a set materializes hash order; "
+                    f"wrap in sorted(...)"))
+    # for-loop iterables are direct statement children, not caught above
+    for stmt in scope_statements(body):
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            if _is_set_expr(stmt.iter, set_names):
+                findings.append(ctx.finding(
+                    "set-iter", stmt.iter,
+                    "iteration over a set: order is insertion/hash "
+                    "dependent; wrap in sorted(...) before it feeds a "
+                    "decision"))
+
+
+@module_rule(
+    "set-iter", "ordering",
+    "order-sensitive iteration over a set",
+    scope="guarded")
+def check_set_iter(ctx: ModuleContext) -> List[Finding]:
+    if not ctx.guarded:
+        return []
+    findings: List[Finding] = []
+    _scan_scope(ctx, ctx.tree.body, findings)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _scan_scope(ctx, node.body, findings)
+    unique = {(f.line, f.col, f.message): f for f in findings}
+    return [unique[key] for key in sorted(unique)]
+
+
+def _key_uses_id(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name) and node.id == "id":
+        return True
+    if isinstance(node, ast.Lambda):
+        for inner in ast.walk(node.body):
+            if (isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Name)
+                    and inner.func.id == "id"):
+                return True
+    return False
+
+
+@module_rule(
+    "id-sort", "ordering",
+    "sorting keyed on id() (allocator-address order)")
+def check_id_sort(ctx: ModuleContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_sort = ((isinstance(func, ast.Name) and func.id == "sorted")
+                   or (isinstance(func, ast.Attribute) and func.attr == "sort"))
+        if not is_sort:
+            continue
+        for keyword in node.keywords:
+            if keyword.arg == "key" and _key_uses_id(keyword.value):
+                findings.append(ctx.finding(
+                    "id-sort", node,
+                    "sort keyed on id(): allocator addresses vary run to "
+                    "run; key on a stable field instead"))
+    return findings
+
+
+#: identifiers that look like simulated-time values
+_TIME_NAME = re.compile(
+    r"(_us|_ns|_at)$|^(now|time|clock|deadline|stamp|mtime)$"
+    r"|(_time|_now|_clock|_deadline|_stamp)$")
+
+
+def _is_time_name(node: ast.expr) -> bool:
+    name = terminal_name(node)
+    return name is not None and bool(_TIME_NAME.search(name))
+
+
+def _is_literal(node: ast.expr) -> bool:
+    """Constant, including negated literals like ``-1.0`` (UnaryOp)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op,
+                                                    (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant)
+
+
+@module_rule(
+    "float-time-eq", "ordering",
+    "float ==/!= on simulated timestamps",
+    scope="guarded")
+def check_float_time_eq(ctx: ModuleContext) -> List[Finding]:
+    if not ctx.guarded:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+            continue
+        if not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+            continue
+        left, right = node.left, node.comparators[0]
+        # sentinel checks against literals (-1.0 markers) are fine
+        if _is_literal(left) or _is_literal(right):
+            continue
+        if _is_time_name(left) or _is_time_name(right):
+            findings.append(ctx.finding(
+                "float-time-eq", node,
+                "float equality on a simulated timestamp: only sound when "
+                "both sides are the same computed value (annotate the "
+                "invariant with a pragma if so)"))
+    return findings

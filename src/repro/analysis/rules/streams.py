@@ -1,0 +1,127 @@
+"""Family 3 — RNG stream-name hygiene.
+
+``stream(seed, name)`` / ``derive_seed(seed, name)`` carve the repo's
+RNG namespace: two components that derive the *same* (seed, name) pair
+get the *same* random stream, silently correlating draws that every
+model assumes independent.  Two checks:
+
+* ``stream-dup`` (project-wide): two different call sites using the same
+  literal name (or the same f-string template after placeholder
+  normalization) collide whenever they run under one root seed.
+* ``stream-dynamic`` (per module): a name built without a constant
+  namespace prefix (a bare variable, or an f-string starting with a
+  placeholder) can collide with any other stream; prefix it with a
+  literal component (``f"fault.element.{id}"`` style).
+
+The runtime complement is ``tests/test_stream_registry.py``, which
+enumerates every derivation a fleet run performs and asserts global
+uniqueness of the derived child seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.context import ModuleContext, terminal_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import module_rule, project_rule
+
+__all__ = ["check_stream_dynamic", "check_stream_dup"]
+
+_DERIVERS = {"stream", "derive_seed"}
+#: the definitions themselves pass the name through as a bare variable
+_EXCLUDED_MODULES = {"repro/sim/rng.py"}
+
+
+def _stream_calls(ctx: ModuleContext) -> List[Tuple[ast.Call, ast.expr]]:
+    """(call, name-argument) for every stream()/derive_seed() call."""
+    out: List[Tuple[ast.Call, ast.expr]] = []
+    if ctx.rel in _EXCLUDED_MODULES:
+        return out
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or len(node.args) < 2:
+            continue
+        name = terminal_name(node.func)
+        if name in _DERIVERS:
+            out.append((node, node.args[1]))
+    return out
+
+
+def _normalize(name_arg: ast.expr) -> Optional[str]:
+    """A stream name's template: literal text with ``{}`` placeholders.
+
+    Returns None when the argument is not a constant/f-string (those are
+    ``stream-dynamic``'s business, not ``stream-dup``'s).
+    """
+    if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+        return name_arg.value
+    if isinstance(name_arg, ast.JoinedStr):
+        parts: List[str] = []
+        for value in name_arg.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            else:
+                parts.append("{}")
+        return "".join(parts)
+    return None
+
+
+@module_rule(
+    "stream-dynamic", "streams",
+    "RNG stream name without a constant namespace prefix")
+def check_stream_dynamic(ctx: ModuleContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for call, name_arg in _stream_calls(ctx):
+        if isinstance(name_arg, ast.Constant):
+            if not (isinstance(name_arg.value, str) and name_arg.value):
+                findings.append(ctx.finding(
+                    "stream-dynamic", call,
+                    "stream name must be a non-empty string literal or a "
+                    "prefixed f-string"))
+            continue
+        if isinstance(name_arg, ast.JoinedStr):
+            values = name_arg.values
+            ok = (bool(values) and isinstance(values[0], ast.Constant)
+                  and isinstance(values[0].value, str) and values[0].value)
+            if not ok:
+                findings.append(ctx.finding(
+                    "stream-dynamic", call,
+                    "f-string stream name must start with a literal "
+                    "namespace prefix (e.g. f\"fault.element.{id}\"), or "
+                    "any two callers can collide"))
+            continue
+        findings.append(ctx.finding(
+            "stream-dynamic", call,
+            "dynamically-built stream name: use a literal (or a literal-"
+            "prefixed f-string) so the namespace is auditable"))
+    return findings
+
+
+@project_rule(
+    "stream-dup", "streams",
+    "same RNG stream name used from multiple call sites")
+def check_stream_dup(contexts: Sequence[ModuleContext]) -> List[Finding]:
+    sites: Dict[str, List[Tuple[ModuleContext, ast.Call]]] = {}
+    for ctx in contexts:
+        for call, name_arg in _stream_calls(ctx):
+            template = _normalize(name_arg)
+            if template is None:
+                continue  # stream-dynamic covers it
+            sites.setdefault(template, []).append((ctx, call))
+    findings: List[Finding] = []
+    for template in sorted(sites):
+        group = sites[template]
+        locations = sorted({(ctx.path, call.lineno) for ctx, call in group})
+        if len(locations) < 2:
+            continue
+        for ctx, call in group:
+            others = ", ".join(
+                f"{path}:{line}" for path, line in locations
+                if (path, line) != (ctx.path, call.lineno))
+            findings.append(ctx.finding(
+                "stream-dup", call,
+                f"stream name {template!r} is also derived at {others}; "
+                f"identical (seed, name) pairs yield identical streams — "
+                f"namespace one of them"))
+    return findings

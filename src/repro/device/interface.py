@@ -229,7 +229,7 @@ class IORequestPool:
 REQUEST_POOL = IORequestPool()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Completion:
     """Summary of one finished request (used by drivers that batch results)."""
 
@@ -274,6 +274,14 @@ class DeviceStats:
     arbitrarily long replays — the last per-record accumulator after the
     driver's result moves to a streaming sink.
     """
+
+    __slots__ = (
+        "reads", "writes", "priority_reads", "priority_writes",
+        "bytes_read", "bytes_written", "media_bytes_written",
+        "requests_completed", "write_retries", "request_timeouts",
+        "requests_failed",
+        "_rec_read", "_rec_write", "_rec_pread", "_rec_pwrite",
+    )
 
     def __init__(self, streaming: bool = False) -> None:
         if streaming:

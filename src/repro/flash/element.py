@@ -50,6 +50,8 @@ class FlashStateError(RuntimeError):
 class PageState:
     """Physical page states (stored as uint8 in the state arrays)."""
 
+    __slots__ = ()
+
     FREE = 0
     VALID = 1
     INVALID = 2
@@ -57,6 +59,20 @@ class PageState:
 
 class FlashElement:
     """A single parallel element (package/die) of an SSD."""
+
+    __slots__ = (
+        "sim", "geometry", "timing", "element_id",
+        "page_state", "reverse_lpn", "valid_count", "write_ptr",
+        "erase_count", "block_mtime", "retired",
+        "_ps", "_rl", "_vc", "_wp", "_ec", "_mt", "_rt",
+        "_queue", "_inflight", "_inflight_done_at", "_queued_us",
+        "drain_at_us", "_op_pool", "_drain",
+        "_page_bytes", "_page_read_us", "_page_program_us",
+        "_erase_cmd_us", "_page_copy_us",
+        "_accum", "erases_performed", "pages_programmed", "pages_read",
+        "read_retries", "fault_model", "on_idle", "strict_program_order",
+        "__weakref__",
+    )
 
     def __init__(
         self,

@@ -318,7 +318,7 @@ class BlockMappedFTL(StripeFTLBase):
                 f"element {gang * self.shards + j}: valid pages outside "
                 f"mapped rows: {sorted(live - mapped)[:5]}"
             )
-            for row in pool:
+            for row in sorted(pool):
                 assert el.write_ptr[row] == 0, (
                     f"gang {gang}: pooled row {row} not erased"
                 )

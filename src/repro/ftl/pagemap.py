@@ -398,7 +398,8 @@ class PageMappedFTL(BaseFTL):
         stats.host_writes += 1
         join.arm()
         maybe_clean = self.cleaner.maybe_clean
-        for e_idx in touched:
+        # sorted(): cleaning decisions must not depend on set iteration order
+        for e_idx in sorted(touched):
             maybe_clean(e_idx)
 
     def read(

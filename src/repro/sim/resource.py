@@ -138,7 +138,8 @@ class SerialResource:
             # applies the reservation and re-arms; see _on_event.)
             ev = self._event
             at = deliver_at if deliver_at >= now else now
-            if at < ev.time or (at == ev.time and seq < ev.seq):
+            # exact-rank tie-break against the armed event's own stamp
+            if at < ev.time or (at == ev.time and seq < ev.seq):  # repro: allow[float-time-eq]
                 # the in-heap entry cannot be retargeted (re-arming a
                 # still-queued Event corrupts the heap); kill it and arm a
                 # fresh one
@@ -189,7 +190,8 @@ class SerialResource:
         bytes_per_us = self._bytes_per_us
         while deferred:
             activate_at, seq, nbytes, then = deferred[0]
-            if activate_at > limit_time or (activate_at == limit_time
+            # exact-rank cutoff: limit_time is a stored stamp, not arithmetic
+            if activate_at > limit_time or (activate_at == limit_time  # repro: allow[float-time-eq]
                                             and seq > limit_seq):
                 break
             deferred.popleft()
@@ -255,7 +257,7 @@ class SerialResource:
             # exact-rank due check: delivering at (now, now_seq) earlier
             # than the reserved (deliver_at, seq) would flip ties against
             # unrelated same-instant events
-            if deliver_at < now or (deliver_at == now and seq <= now_seq):
+            if deliver_at < now or (deliver_at == now and seq <= now_seq):  # repro: allow[float-time-eq]
                 pending.popleft()
                 then(finish)
         if not self._armed and (self._pending or self._deferred):
@@ -272,7 +274,8 @@ class SerialResource:
         now_seq = sim.now_seq
         bytes_per_us = self._bytes_per_us
         for activate_at, seq, nbytes, _then in self._deferred:
-            if activate_at > now or (activate_at == now and seq > now_seq):
+            # exact-rank check against the loop's own (now, now_seq) stamp
+            if activate_at > now or (activate_at == now and seq > now_seq):  # repro: allow[float-time-eq]
                 break
             start = activate_at if activate_at > busy else busy
             busy = start + nbytes / bytes_per_us

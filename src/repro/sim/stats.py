@@ -121,7 +121,7 @@ class RunningStats:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LatencySummary:
     """Immutable summary emitted by :class:`LatencyRecorder`."""
 
@@ -144,6 +144,8 @@ class LatencyRecorder:
     most a few hundred thousand samples so memory is not a concern, and exact
     percentiles keep the tables honest.
     """
+
+    __slots__ = ("_samples",)
 
     def __init__(self) -> None:
         self._samples: List[float] = []
@@ -678,6 +680,8 @@ class ClassAggregate:
 class Counter:
     """A dict of named monotonically increasing counters."""
 
+    __slots__ = ("_counts",)
+
     def __init__(self) -> None:
         self._counts: Dict[str, int] = {}
 
@@ -696,6 +700,8 @@ class Counter:
 
 class Histogram:
     """Fixed-bin histogram over [0, upper) with an overflow bucket."""
+
+    __slots__ = ("upper", "nbins", "_width", "bins", "overflow", "count")
 
     def __init__(self, upper: float, nbins: int) -> None:
         if upper <= 0 or nbins <= 0:
@@ -722,7 +728,7 @@ class Histogram:
         return [i * self._width for i in range(self.nbins + 1)]
 
 
-@dataclass
+@dataclass(slots=True)
 class BandwidthMeter:
     """Accumulates completed bytes over a measurement window."""
 

@@ -1,0 +1,35 @@
+"""Run the committed mypy gate when mypy is available.
+
+The container this repo develops in does not ship mypy, so the test
+skips there; CI installs mypy and runs the same command as a hard step,
+making this the local mirror of that gate.  Strictness is scoped by
+``mypy.ini``: ``repro.analysis`` and ``repro.sim`` are checked,
+everything else is advisory.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+pytestmark = pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed (CI installs it; the gate runs there)")
+
+
+def test_strict_packages_typecheck():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini",
+         "src/repro/sim", "src/repro/analysis"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, (
+        f"mypy failed:\n{result.stdout}\n{result.stderr}")
